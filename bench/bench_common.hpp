@@ -1,0 +1,63 @@
+#pragma once
+
+// Shared plumbing for the experiment binaries (E1–E9).
+//
+// Each bench prints:
+//   * a banner naming the experiment and the paper claim it reproduces,
+//   * an aligned table (the "figure/table" reproduction),
+//   * a trailing CSV block for plotting.
+// Set SOR_BENCH_QUICK=1 to shrink trial counts (CI smoke mode).
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/evaluate.hpp"
+#include "core/router.hpp"
+#include "core/sampler.hpp"
+#include "demand/demand.hpp"
+#include "flow/mcf.hpp"
+#include "util/table.hpp"
+
+namespace sor::bench {
+
+inline bool quick_mode() {
+  const char* env = std::getenv("SOR_BENCH_QUICK");
+  return env != nullptr && std::string(env) != "0";
+}
+
+inline std::size_t scaled(std::size_t full, std::size_t quick) {
+  return quick_mode() ? quick : full;
+}
+
+/// OPT congestion for a demand (primal value of the (1+ε)-MCF).
+inline double opt_congestion(const Graph& g, const Demand& d,
+                             double epsilon = 0.08) {
+  if (d.empty()) return 0;
+  McfOptions options;
+  options.epsilon = epsilon;
+  return min_congestion_routing(g, d.commodities(), options).congestion;
+}
+
+/// Semi-oblivious congestion of a demand over a path system (MWU backend,
+/// suitable for bench-sized instances).
+inline double sor_congestion(const Graph& g, const PathSystem& ps,
+                             const Demand& d, double epsilon = 0.05) {
+  RouterOptions options;
+  options.backend = LpBackend::kMwu;
+  options.epsilon = epsilon;
+  const SemiObliviousRouter router(g, ps, options);
+  return router.route_fractional(d).congestion;
+}
+
+/// Prints the table and its CSV twin.
+inline void emit(const std::string& id, const std::string& claim,
+                 const Table& table) {
+  print_banner(std::cout, id, claim);
+  table.print(std::cout);
+  std::cout << "\ncsv:\n";
+  table.print_csv(std::cout);
+  std::cout.flush();
+}
+
+}  // namespace sor::bench

@@ -1,0 +1,82 @@
+// E11 — Derandomized deterministic selection (the §1.1 deterministic-
+// routing consequence, made constructive).
+//
+// Claim reproduced: the paper shows a deterministic oblivious selection
+// of FEW paths bypasses the KKT'91 single-path barrier. We instantiate
+// it: the conditional-expectations greedy (core/derandomize) picks k
+// paths per pair deterministically from oblivious-routing pools. On
+// adversarial hypercube permutations it tracks the random k-sample while
+// the deterministic single path collapses.
+//
+// Output: per (k, demand): ratio of greedy-derandomized vs random sample
+// vs deterministic shortest path.
+
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/derandomize.hpp"
+#include "demand/generators.hpp"
+#include "graph/generators.hpp"
+#include "oblivious/shortest_path.hpp"
+#include "oblivious/valiant.hpp"
+
+int main() {
+  using namespace sor;
+  const std::uint32_t d = bench::quick_mode() ? 5 : 6;
+  const Graph g = make_hypercube(d);
+  const ValiantHypercube valiant(g, d);
+  const auto pairs = all_pairs(all_vertices(g));
+
+  std::vector<std::pair<std::string, Demand>> demands;
+  demands.emplace_back("bit-complement", bit_complement_demand(d));
+  demands.emplace_back("bit-reversal", bit_reversal_demand(d));
+  {
+    Rng rng(2);
+    demands.emplace_back("random-perm", random_permutation_demand(g, rng));
+  }
+
+  // Deterministic single shortest path (the barrier baseline).
+  const ShortestPathRouting det(g);
+  SampleOptions one;
+  one.k = 1;
+  const PathSystem single = sample_path_system(det, pairs, one, 1);
+
+  Table table({"demand", "scheme", "k", "ratio"});
+  for (const auto& [dname, demand] : demands) {
+    const double opt = bench::opt_congestion(g, demand);
+    {
+      const double c = bench::sor_congestion(g, single, demand);
+      table.add_row({dname, "det-single-path", "1",
+                     Table::fmt(c / std::max(opt, 1e-12))});
+    }
+    for (const std::size_t k : {std::size_t{2}, std::size_t{4},
+                                std::size_t{8}}) {
+      DerandomizeOptions greedy;
+      greedy.k = k;
+      greedy.pool = 4 * k;
+      const PathSystem derand =
+          derandomized_path_system(valiant, pairs, greedy);
+      const double dc = bench::sor_congestion(g, derand, demand);
+      table.add_row({dname, "derandomized-greedy",
+                     Table::fmt_int(static_cast<long long>(k)),
+                     Table::fmt(dc / std::max(opt, 1e-12))});
+
+      SampleOptions sample;
+      sample.k = k;
+      const PathSystem random = sample_path_system(valiant, pairs, sample, 7);
+      const double rc = bench::sor_congestion(g, random, demand);
+      table.add_row({dname, "random-sample",
+                     Table::fmt_int(static_cast<long long>(k)),
+                     Table::fmt(rc / std::max(opt, 1e-12))});
+    }
+  }
+
+  bench::emit(
+      "E11: deterministic few-path selection bypasses the 1-path barrier",
+      "A fully deterministic greedy (method of conditional expectations "
+      "over the sampling construction) matches the random k-sample's "
+      "competitiveness on adversarial permutations, while any single "
+      "deterministic path stays polynomially bad.",
+      table);
+  return 0;
+}

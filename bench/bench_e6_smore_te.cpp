@@ -1,0 +1,120 @@
+// E6 — SMORE-style traffic engineering (the §1.1 "natural construction
+// and its traffic engineering applications" consequence; SMORE [22]/[21]).
+//
+// Claim reproduced: on WAN topologies with gravity traffic,
+//  * semi-oblivious routing with Räcke-sampled paths approaches the
+//    optimal max-utilization already at k ≈ 4 (the practical sweet spot),
+//  * it beats KSP-based TE at equal sparsity (path diversity matters),
+//  * it beats non-adaptive oblivious routing (rate adaptation matters),
+//  * fixed paths + re-optimized rates stay robust under demand churn.
+//
+// Output: per (wan, k, scheme): ratio to OPT on the base matrix and the
+// worst ratio across perturbed matrices (robustness).
+
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "demand/generators.hpp"
+#include "graph/generators.hpp"
+#include "oblivious/ksp.hpp"
+#include "oblivious/racke_routing.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace sor;
+  const std::size_t num_perturbed = bench::scaled(5, 2);
+  const std::vector<std::size_t> ks =
+      bench::quick_mode() ? std::vector<std::size_t>{1, 4}
+                          : std::vector<std::size_t>{1, 2, 4, 6, 8};
+
+  Table table(
+      {"wan", "scheme", "k", "ratio_base", "ratio_churn_max"});
+
+  std::vector<WanTopology> wans;
+  wans.push_back(make_abilene());
+  wans.push_back(make_b4());
+  if (!bench::quick_mode()) wans.push_back(make_geant());
+  for (WanTopology& wan : wans) {
+    const Graph& g = wan.graph;
+    const std::vector<Vertex> nodes = all_vertices(g);
+    const Demand base = gravity_demand(g, nodes, 64.0);
+    std::vector<Demand> perturbed;
+    for (std::size_t i = 0; i < num_perturbed; ++i) {
+      Rng rng(500 + i);
+      perturbed.push_back(
+          perturbed_gravity_demand(g, nodes, 64.0, 0.5, rng));
+    }
+
+    const double opt_base = bench::opt_congestion(g, base);
+    std::vector<double> opt_perturbed;
+    for (const Demand& d : perturbed) {
+      opt_perturbed.push_back(bench::opt_congestion(g, d));
+    }
+
+    RaeckeOptions racke;
+    racke.seed = 11;
+    const RaeckeRouting racke_routing(g, racke);
+
+    auto eval_system = [&](const std::string& scheme, std::size_t k,
+                           const PathSystem& ps) {
+      const double base_cong = bench::sor_congestion(g, ps, base);
+      double churn_max = 0;
+      for (std::size_t i = 0; i < perturbed.size(); ++i) {
+        const double c = bench::sor_congestion(g, ps, perturbed[i]);
+        churn_max =
+            std::max(churn_max, c / std::max(opt_perturbed[i], 1e-12));
+      }
+      table.add_row({wan.name, scheme,
+                     Table::fmt_int(static_cast<long long>(k)),
+                     Table::fmt(base_cong / std::max(opt_base, 1e-12)),
+                     Table::fmt(churn_max)});
+    };
+
+    const std::vector<VertexPair> pairs = all_pairs(nodes);
+    for (const std::size_t k : ks) {
+      // SMORE: Räcke-sampled k paths + adaptive rates.
+      SampleOptions sample;
+      sample.k = k;
+      sample.deduplicate = true;
+      eval_system("smore(racke-sample)", k,
+                  sample_path_system(racke_routing, pairs, sample, 71 * k));
+
+      // KSP-TE baseline: the k shortest (inverse-capacity) paths.
+      const KspRouting ksp(g, k);
+      PathSystem ksp_system;
+      for (const VertexPair& pair : pairs) {
+        for (const Path& p : ksp.candidates(pair.a, pair.b)) {
+          ksp_system.add(p);
+        }
+      }
+      eval_system("ksp-te", k, ksp_system);
+    }
+
+    // Non-adaptive oblivious routing reference.
+    {
+      Rng rng(601);
+      const double ocong = oblivious_congestion(racke_routing, base, 32, rng);
+      double churn_max = 0;
+      for (std::size_t i = 0; i < perturbed.size(); ++i) {
+        Rng r2(700 + i);
+        const double c =
+            oblivious_congestion(racke_routing, perturbed[i], 32, r2);
+        churn_max =
+            std::max(churn_max, c / std::max(opt_perturbed[i], 1e-12));
+      }
+      table.add_row({wan.name, "oblivious(racke)", "-",
+                     Table::fmt(ocong / std::max(opt_base, 1e-12)),
+                     Table::fmt(churn_max)});
+    }
+  }
+
+  bench::emit(
+      "E6: SMORE traffic engineering on WANs (k≈4 sweet spot)",
+      "Semi-oblivious Räcke samples approach OPT max-utilization by k≈4, "
+      "beat KSP-TE at equal sparsity and non-adaptive oblivious routing, "
+      "and stay robust when the traffic matrix churns (paths fixed, rates "
+      "re-optimized).",
+      table);
+  return 0;
+}

@@ -1,0 +1,94 @@
+// E8 — Ablation: what you sample from matters (§1.1 "sample the few paths
+// from any COMPETITIVE oblivious routing").
+//
+// Claim reproduced: Theorem 5.3's competitiveness is β·polylog where β is
+// the quality of the oblivious routing sampled from. Sampling k = 4 paths
+// from Räcke (β = O(log n)) beats, at the same sparsity, sampling from
+// k-shortest-paths (correlated bottlenecks), random walks (no guarantee),
+// and a deterministic shortest path (no diversity at all).
+//
+// Output: per (graph, source): mean/max ratio at fixed k = 4.
+
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "demand/generators.hpp"
+#include "graph/generators.hpp"
+#include "oblivious/electrical.hpp"
+#include "oblivious/ksp.hpp"
+#include "oblivious/racke_routing.hpp"
+#include "oblivious/random_walk.hpp"
+#include "oblivious/shortest_path.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace sor;
+  const std::size_t k = 4;
+  const std::size_t num_demands = bench::scaled(5, 2);
+
+  struct Case {
+    std::string name;
+    Graph graph;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"torus(8x8)", make_torus(8, 8)});
+  {
+    WanTopology b4 = make_b4();
+    cases.push_back({"b4", std::move(b4.graph)});
+  }
+  if (bench::quick_mode()) cases.erase(cases.begin() + 1, cases.end());
+
+  Table table({"graph", "source", "ratio_mean", "ratio_max", "overlap"});
+  for (const Case& c : cases) {
+    const Graph& g = c.graph;
+
+    std::vector<Demand> demands;
+    std::vector<double> opts;
+    for (std::size_t i = 0; i < num_demands; ++i) {
+      Rng rng(300 + i);
+      demands.push_back(random_permutation_demand(g, rng));
+      opts.push_back(bench::opt_congestion(g, demands.back()));
+    }
+
+    std::vector<std::pair<std::string, std::unique_ptr<ObliviousRouting>>>
+        sources;
+    {
+      RaeckeOptions racke;
+      racke.seed = 21;
+      sources.emplace_back("racke",
+                           std::make_unique<RaeckeRouting>(g, racke));
+    }
+    sources.emplace_back("ksp8", std::make_unique<KspRouting>(g, 8));
+    sources.emplace_back("electrical", std::make_unique<ElectricalRouting>(g));
+    sources.emplace_back("random-walk",
+                         std::make_unique<RandomWalkRouting>(g));
+    sources.emplace_back("det-shortest",
+                         std::make_unique<ShortestPathRouting>(g));
+
+    for (const auto& [sname, source] : sources) {
+      SampleOptions sample;
+      sample.k = k;
+      const PathSystem ps =
+          sample_path_system_all_pairs(*source, sample, 23);
+      RunningStats ratios;
+      for (std::size_t i = 0; i < demands.size(); ++i) {
+        const double congestion = bench::sor_congestion(g, ps, demands[i]);
+        ratios.add(congestion / std::max(opts[i], 1e-12));
+      }
+      table.add_row({c.name, sname, Table::fmt(ratios.mean()),
+                     Table::fmt(ratios.max()),
+                     Table::fmt(mean_pairwise_overlap(ps))});
+    }
+  }
+
+  bench::emit(
+      "E8: sampling-source ablation at fixed sparsity k=4",
+      "The construction inherits the quality β of the oblivious routing "
+      "it samples; the `overlap` column (mean pairwise Jaccard of each "
+      "pair's candidates) shows WHY: deterministic shortest paths have "
+      "overlap 1 (no diversity) and collapse, KSP candidates share "
+      "corridors, Räcke/electrical samples are load-diverse.",
+      table);
+  return 0;
+}

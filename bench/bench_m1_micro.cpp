@@ -1,0 +1,151 @@
+// M1 — engineering micro-benchmarks (google-benchmark).
+//
+// Construction and solver throughput for the building blocks: FRT tree
+// embedding, Räcke ensemble build, path sampling, the restricted-path MWU
+// LP, Dinic max-flow, the GK concurrent-flow OPT oracle, the exact
+// simplex, and the packet simulator. These are the costs a deployment
+// pays (SMORE's "install paths offline, adapt rates online" split).
+
+#include <benchmark/benchmark.h>
+
+#include "core/router.hpp"
+#include "core/sampler.hpp"
+#include "demand/generators.hpp"
+#include "flow/maxflow.hpp"
+#include "flow/mcf.hpp"
+#include "graph/generators.hpp"
+#include "lp/path_lp.hpp"
+#include "oblivious/racke_routing.hpp"
+#include "oblivious/valiant.hpp"
+#include "sim/packet_sim.hpp"
+#include "tree/frt.hpp"
+
+namespace {
+
+using namespace sor;
+
+void BM_FrtBuild(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const Graph g = make_random_regular(n, 4, 7);
+  const std::vector<double> lengths(g.num_edges(), 1.0);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    benchmark::DoNotOptimize(build_frt_tree(g, lengths, rng));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_FrtBuild)->Arg(32)->Arg(64)->Arg(128)->Complexity();
+
+void BM_RaeckeBuild(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const Graph g = make_random_regular(n, 4, 7);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    RaeckeOptions options;
+    options.seed = seed++;
+    benchmark::DoNotOptimize(RaeckeEnsemble(g, options));
+  }
+}
+BENCHMARK(BM_RaeckeBuild)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SamplePathSystem(benchmark::State& state) {
+  const std::uint32_t d = 6;
+  const Graph g = make_hypercube(d);
+  const ValiantHypercube routing(g, d);
+  SampleOptions options;
+  options.k = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sample_path_system_all_pairs(routing, options, seed++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (64 * 63 / 2) * state.range(0));
+}
+BENCHMARK(BM_SamplePathSystem)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_RestrictedMwu(benchmark::State& state) {
+  const std::uint32_t d = 6;
+  const Graph g = make_hypercube(d);
+  const ValiantHypercube routing(g, d);
+  SampleOptions sample;
+  sample.k = static_cast<std::size_t>(state.range(0));
+  const PathSystem ps = sample_path_system_all_pairs(routing, sample, 3);
+  Rng rng(5);
+  const Demand demand = random_permutation_demand(g, rng);
+  RouterOptions options;
+  options.backend = LpBackend::kMwu;
+  const SemiObliviousRouter router(g, ps, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.route_fractional(demand));
+  }
+}
+BENCHMARK(BM_RestrictedMwu)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_RestrictedExact(benchmark::State& state) {
+  const Graph g = make_torus(4, 4);
+  RaeckeOptions racke;
+  racke.seed = 3;
+  const RaeckeRouting routing(g, racke);
+  SampleOptions sample;
+  sample.k = static_cast<std::size_t>(state.range(0));
+  const PathSystem ps = sample_path_system_all_pairs(routing, sample, 4);
+  Rng rng(6);
+  const Demand demand = random_permutation_demand(g, rng);
+  RouterOptions options;
+  options.backend = LpBackend::kExact;
+  const SemiObliviousRouter router(g, ps, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.route_fractional(demand));
+  }
+}
+BENCHMARK(BM_RestrictedExact)->Arg(2)->Arg(4);
+
+void BM_DinicMaxFlow(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const Graph g = make_random_regular(n, 6, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(max_flow(g, 0, n - 1));
+  }
+}
+BENCHMARK(BM_DinicMaxFlow)->Arg(64)->Arg(256);
+
+void BM_GkConcurrentFlow(benchmark::State& state) {
+  const std::uint32_t d = 5;
+  const Graph g = make_hypercube(d);
+  Rng rng(7);
+  const Demand demand = random_permutation_demand(g, rng);
+  const auto commodities = demand.commodities();
+  McfOptions options;
+  options.epsilon = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(min_congestion_routing(g, commodities, options));
+  }
+}
+BENCHMARK(BM_GkConcurrentFlow);
+
+void BM_PacketSim(benchmark::State& state) {
+  const std::uint32_t d = 6;
+  const Graph g = make_hypercube(d);
+  const ValiantHypercube routing(g, d);
+  Rng rng(8);
+  const Demand demand = random_permutation_demand(g, rng);
+  std::vector<Path> packets;
+  for (const Commodity& c : demand.commodities()) {
+    for (int i = 0; i < static_cast<int>(c.amount); ++i) {
+      packets.push_back(routing.sample_path(c.src, c.dst, rng));
+    }
+  }
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng sim_rng(seed++);
+    benchmark::DoNotOptimize(
+        simulate_store_and_forward(g, packets, sim_rng));
+  }
+}
+BENCHMARK(BM_PacketSim);
+
+}  // namespace
+
+BENCHMARK_MAIN();

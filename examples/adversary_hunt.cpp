@@ -1,0 +1,69 @@
+// Adversary hunt on the §8 lower-bound gadget.
+//
+// Builds the two-star graph, installs a path system of your chosen
+// sparsity and construction ("collapsed" deterministic vs the paper's
+// random sampling), then runs the constructive Lemma 8.1 adversary: it
+// pins a set S of k middle vertices and extracts the largest leaf
+// matching whose every candidate path is trapped inside S. The demand it
+// prints is a certified bad permutation for that path system.
+//
+//   $ ./adversary_hunt [middles] [k] [collapsed|sampled]
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/router.hpp"
+#include "graph/generators.hpp"
+#include "graph/path.hpp"
+#include "lowerbound/adversary.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  const std::uint32_t m =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 16;
+  const std::size_t k = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2;
+  const std::string mode = argc > 3 ? argv[3] : "collapsed";
+
+  const sor::TwoStarGraph ts = sor::make_two_star(/*leaves=*/m, /*middles=*/m);
+  std::cout << "two-star gadget: " << ts.graph.summary() << " (" << m
+            << " leaves per side, " << m << " middles)\n";
+
+  // Install the path system.
+  sor::Rng rng(7);
+  sor::PathSystem ps;
+  for (std::size_t l = 0; l < ts.left_leaves.size(); ++l) {
+    for (std::size_t r = 0; r < ts.right_leaves.size(); ++r) {
+      for (std::size_t i = 0; i < k; ++i) {
+        const std::size_t z =
+            mode == "sampled" ? rng.next_u64(m) : i;  // collapsed: 0..k-1
+        ps.add(sor::path_from_vertices(
+            ts.graph,
+            std::vector<sor::Vertex>{ts.left_leaves[l], ts.center_left,
+                                     ts.middles[z], ts.center_right,
+                                     ts.right_leaves[r]}));
+      }
+    }
+  }
+  std::cout << "path system: " << mode << ", k = " << k << ", "
+            << ps.total_paths() << " paths\n\n";
+
+  // Hunt.
+  const sor::AdversaryResult adv = sor::find_adversarial_demand(ts, ps, k);
+  std::cout << "adversary found:\n";
+  std::cout << "  bottleneck middles : " << adv.bottleneck.size() << "\n";
+  std::cout << "  trapped matching   : " << adv.matching_size << " pairs\n";
+  std::cout << "  forced congestion  : " << adv.forced_congestion << "\n";
+  std::cout << "  OPT congestion     : " << adv.opt_congestion << "\n";
+  std::cout << "  forced ratio       : "
+            << adv.forced_congestion / adv.opt_congestion << "\n\n";
+
+  // Verify against the actual LP over the installed system.
+  const sor::SemiObliviousRouter router(ts.graph, ps);
+  const sor::FractionalRoute route = router.route_fractional(adv.demand);
+  std::cout << "LP check: best achievable congestion over the installed "
+               "paths = "
+            << route.congestion << " (adversary promised >= "
+            << adv.forced_congestion / 2 << ")\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Quickstart: build a graph, construct a Räcke oblivious routing, sample a
+// sparse semi-oblivious path system from it (the paper's construction),
+// route a demand, and compare against the offline optimum.
+//
+//   $ ./quickstart [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/evaluate.hpp"
+#include "core/router.hpp"
+#include "core/sampler.hpp"
+#include "demand/generators.hpp"
+#include "graph/generators.hpp"
+#include "oblivious/racke_routing.hpp"
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  // 1. A network: the 6-dimensional hypercube (64 vertices, 192 edges).
+  const sor::Graph g = sor::make_hypercube(6);
+  std::cout << "graph: hypercube(6), " << g.summary() << "\n";
+
+  // 2. A competitive oblivious routing to sample from (Räcke FRT-tree
+  //    ensemble; any ObliviousRouting works here).
+  sor::RaeckeOptions racke;
+  racke.seed = seed;
+  const sor::RaeckeRouting oblivious(g, racke);
+  std::cout << "oblivious routing: " << oblivious.name() << ", "
+            << oblivious.ensemble().num_trees() << " trees\n";
+
+  // 3. The paper's construction: sample k paths per pair (Definition 5.2).
+  sor::SampleOptions sample;
+  sample.k = 6;
+  const sor::PathSystem system =
+      sor::sample_path_system_all_pairs(oblivious, sample, seed + 1);
+  std::cout << "path system: " << system.num_pairs() << " pairs, "
+            << system.total_paths() << " paths (k = " << sample.k << ")\n";
+
+  // 4. A demand arrives (random permutation); adapt the sending rates
+  //    on the pre-installed candidates (the semi-oblivious LP).
+  sor::Rng rng(seed + 2);
+  const sor::Demand demand = sor::random_permutation_demand(g, rng);
+  const sor::SemiObliviousRouter router(g, system);
+  const sor::FractionalRoute route = router.route_fractional(demand);
+  std::cout << "semi-oblivious congestion: " << route.congestion << "\n";
+
+  // 5. Compare with the offline optimum over ALL paths.
+  const sor::CompetitiveReport report =
+      sor::competitive_ratio(g, route.congestion, demand);
+  std::cout << "offline OPT congestion:    " << report.opt << "\n";
+  std::cout << "competitive ratio:         " << report.ratio << "\n";
+  return 0;
+}

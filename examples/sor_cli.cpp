@@ -1,0 +1,179 @@
+// sor_cli — run the semi-oblivious routing pipeline on your own network.
+//
+// Usage:
+//   sor_cli --graph <edge-list file> [--demand <demand file>] [options]
+//
+// Options:
+//   --graph FILE      edge-list graph: first line "<n>", then "u v [cap]"
+//   --demand FILE     demand file: "s t amount" lines; default: gravity
+//   --k N             sampled paths per pair            (default 4)
+//   --source NAME     racke | ksp | electrical | sp     (default racke)
+//   --seed N          RNG seed                          (default 1)
+//   --integral        round to one path per demand unit and simulate
+//   --dump-paths FILE write the installed path system as vertex lists
+//
+// Prints the installed system's statistics, the achieved congestion, the
+// offline optimum, and the competitive ratio.
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/evaluate.hpp"
+#include "core/router.hpp"
+#include "core/sampler.hpp"
+#include "demand/generators.hpp"
+#include "demand/io.hpp"
+#include "graph/io.hpp"
+#include "oblivious/electrical.hpp"
+#include "oblivious/ksp.hpp"
+#include "oblivious/racke_routing.hpp"
+#include "oblivious/shortest_path.hpp"
+#include "sim/packet_sim.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+struct Args {
+  std::string graph_path;
+  std::string demand_path;
+  std::string dump_paths;
+  std::string source = "racke";
+  std::size_t k = 4;
+  std::uint64_t seed = 1;
+  bool integral = false;
+};
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg != nullptr) std::cerr << "error: " << msg << "\n";
+  std::cerr << "usage: sor_cli --graph FILE [--demand FILE] [--k N] "
+               "[--source racke|ksp|electrical|sp] [--seed N] [--integral] "
+               "[--dump-paths FILE]\n";
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + flag).c_str());
+      return argv[++i];
+    };
+    if (flag == "--graph") {
+      args.graph_path = value();
+    } else if (flag == "--demand") {
+      args.demand_path = value();
+    } else if (flag == "--k") {
+      args.k = std::stoull(value());
+    } else if (flag == "--source") {
+      args.source = value();
+    } else if (flag == "--seed") {
+      args.seed = std::stoull(value());
+    } else if (flag == "--integral") {
+      args.integral = true;
+    } else if (flag == "--dump-paths") {
+      args.dump_paths = value();
+    } else {
+      usage(("unknown flag " + flag).c_str());
+    }
+  }
+  if (args.graph_path.empty()) usage("--graph is required");
+  if (args.k == 0) usage("--k must be positive");
+  return args;
+}
+
+std::unique_ptr<sor::ObliviousRouting> make_source(const std::string& name,
+                                                   const sor::Graph& g,
+                                                   std::uint64_t seed) {
+  if (name == "racke") {
+    sor::RaeckeOptions options;
+    options.seed = seed;
+    return std::make_unique<sor::RaeckeRouting>(g, options);
+  }
+  if (name == "ksp") return std::make_unique<sor::KspRouting>(g, 8);
+  if (name == "electrical") {
+    return std::make_unique<sor::ElectricalRouting>(g);
+  }
+  if (name == "sp") return std::make_unique<sor::ShortestPathRouting>(g);
+  usage(("unknown source " + name).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+
+  const sor::Graph g = sor::load_graph(args.graph_path);
+  std::cout << "graph: " << g.summary() << "\n";
+  if (!g.is_connected()) {
+    std::cerr << "error: graph is not connected\n";
+    return 1;
+  }
+
+  sor::Demand demand;
+  if (!args.demand_path.empty()) {
+    demand = sor::load_demand(args.demand_path);
+  } else {
+    demand = sor::gravity_demand(g, static_cast<double>(g.num_vertices()));
+    std::cout << "no --demand given; using a gravity matrix of total "
+              << demand.total() << "\n";
+  }
+  std::cout << "demand: " << demand.support_size() << " pairs, total "
+            << demand.total() << "\n";
+
+  // Offline phase.
+  sor::Stopwatch offline;
+  const auto source = make_source(args.source, g, args.seed);
+  sor::SampleOptions sample;
+  sample.k = args.k;
+  sample.deduplicate = true;
+  const sor::PathSystem system = sor::sample_path_system_for_demand(
+      *source, demand, sample, args.seed + 1);
+  std::cout << "installed " << system.total_paths() << " paths from '"
+            << source->name() << "' (k = " << args.k << ", max hops "
+            << system.max_hops() << ") in " << offline.milliseconds()
+            << " ms\n";
+
+  if (!args.dump_paths.empty()) {
+    std::ofstream dump(args.dump_paths);
+    for (const sor::VertexPair& pair : system.pairs()) {
+      for (const sor::Path& p : system.canonical_paths(pair.a, pair.b)) {
+        for (sor::Vertex v : sor::path_vertices(g, p)) dump << v << " ";
+        dump << "\n";
+      }
+    }
+    std::cout << "wrote path dump to " << args.dump_paths << "\n";
+  }
+
+  // Online phase.
+  sor::Stopwatch online;
+  const sor::SemiObliviousRouter router(g, system);
+  const sor::FractionalRoute route = router.route_fractional(demand);
+  std::cout << "rate optimization took " << online.milliseconds()
+            << " ms\n";
+  const sor::CompetitiveReport report =
+      sor::competitive_ratio(g, route.congestion, demand);
+  std::cout << "semi-oblivious congestion : " << report.scheme << "\n";
+  std::cout << "offline OPT congestion    : " << report.opt << "\n";
+  std::cout << "competitive ratio         : " << report.ratio << "\n";
+
+  if (args.integral) {
+    if (!demand.is_integral()) {
+      std::cerr << "--integral requires an integral demand\n";
+      return 1;
+    }
+    sor::Rng rng(args.seed + 2);
+    const sor::IntegralRoute integral = router.route_integral(demand, rng);
+    sor::Rng sim_rng(args.seed + 3);
+    const sor::SimResult sim =
+        sor::simulate_store_and_forward(g, integral.packet_paths, sim_rng);
+    std::cout << "integral congestion       : " << integral.congestion
+              << " (dilation " << integral.dilation << ")\n";
+    std::cout << "simulated makespan        : " << sim.makespan
+              << " steps\n";
+  }
+  return 0;
+}

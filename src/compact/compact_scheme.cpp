@@ -1,0 +1,89 @@
+#include "compact/compact_scheme.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tree/racke.hpp"  // optimize_mixture_weights
+
+namespace sor {
+
+CompactRoutingScheme::CompactRoutingScheme(
+    const Graph& g, const CompactSchemeOptions& options)
+    : ObliviousRouting(g) {
+  std::size_t num_trees = options.num_trees;
+  if (num_trees == 0) {
+    num_trees = static_cast<std::size_t>(std::ceil(
+                    std::log2(static_cast<double>(g.num_vertices()) + 1))) +
+                4;
+  }
+  Rng rng(options.seed);
+  routers_.reserve(num_trees);
+  for (std::size_t i = 0; i < num_trees; ++i) {
+    Rng tree_rng = rng.split(i);
+    routers_.emplace_back(g, random_spanning_tree(g, tree_rng));
+  }
+
+  if (options.optimize_weights) {
+    // Charge each tree the worst-case relative load of its edges: a tree
+    // edge e separating the tree into (S, V\S) must carry everything a
+    // demand sends across, bounded by cap(δ(S)); spread over c_e.
+    std::vector<std::vector<double>> loads;
+    loads.reserve(num_trees);
+    for (const IntervalTreeRouter& router : routers_) {
+      std::vector<double> load(g.num_edges(), 0.0);
+      const SpanningTree& tree = router.tree();
+      // Subtree cut capacities by one DFS per tree edge (small graphs).
+      for (Vertex v = 0; v < g.num_vertices(); ++v) {
+        if (tree.parent[v] == kInvalidVertex) continue;
+        // Members of v's subtree.
+        std::vector<bool> in_subtree(g.num_vertices(), false);
+        std::vector<Vertex> stack{v};
+        in_subtree[v] = true;
+        while (!stack.empty()) {
+          const Vertex at = stack.back();
+          stack.pop_back();
+          for (Vertex w = 0; w < g.num_vertices(); ++w) {
+            if (!in_subtree[w] && tree.parent[w] == at) {
+              in_subtree[w] = true;
+              stack.push_back(w);
+            }
+          }
+        }
+        double cut = 0;
+        for (const Edge& e : g.edges()) {
+          if (in_subtree[e.u] != in_subtree[e.v]) cut += e.capacity;
+        }
+        const EdgeId via = tree.parent_edge[v];
+        load[via] += cut / g.edge(via).capacity;
+      }
+      loads.push_back(std::move(load));
+    }
+    weights_ = optimize_mixture_weights(loads);
+  } else {
+    weights_.assign(num_trees, 1.0 / static_cast<double>(num_trees));
+  }
+}
+
+Path CompactRoutingScheme::sample_path(Vertex s, Vertex t, Rng& rng) const {
+  SOR_CHECK(s != t);
+  const std::size_t i = rng.next_weighted(weights_);
+  return routers_[i].route(s, t);
+}
+
+std::size_t CompactRoutingScheme::table_words(Vertex v) const {
+  std::size_t total = 0;
+  for (const IntervalTreeRouter& router : routers_) {
+    total += router.table_words(v);
+  }
+  return total;
+}
+
+std::size_t CompactRoutingScheme::max_table_words() const {
+  std::size_t best = 0;
+  for (Vertex v = 0; v < graph_->num_vertices(); ++v) {
+    best = std::max(best, table_words(v));
+  }
+  return best;
+}
+
+}  // namespace sor

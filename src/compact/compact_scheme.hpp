@@ -1,0 +1,55 @@
+#pragma once
+
+// A compact oblivious routing scheme: an ensemble of interval-labelled
+// spanning trees.
+//
+// Packet header = (tree id, destination label); per-vertex state = the
+// union of the trees' interval tables — O(T · degree) words, versus the
+// Θ(n²·paths) a naive per-pair path table would need. Sampling a path
+// picks a tree (load-aware weights via the same matrix-game MWU as the
+// Räcke ensemble) and follows its forwarding. The scheme implements
+// ObliviousRouting, so it plugs into the semi-oblivious sampler like any
+// other source: E15 measures the congestion premium compactness costs.
+
+#include <memory>
+#include <vector>
+
+#include "compact/interval_tree.hpp"
+#include "oblivious/routing.hpp"
+
+namespace sor {
+
+struct CompactSchemeOptions {
+  /// Number of spanning trees; 0 = auto (ceil(log2 n) + 4).
+  std::size_t num_trees = 0;
+  /// Weight the trees by the mixture game over their edge loads (like the
+  /// Räcke ensemble) instead of uniformly.
+  bool optimize_weights = true;
+  std::uint64_t seed = 0;
+};
+
+class CompactRoutingScheme final : public ObliviousRouting {
+ public:
+  CompactRoutingScheme(const Graph& g,
+                       const CompactSchemeOptions& options = {});
+
+  Path sample_path(Vertex s, Vertex t, Rng& rng) const override;
+  std::string name() const override { return "compact-trees"; }
+
+  std::size_t num_trees() const { return routers_.size(); }
+  const IntervalTreeRouter& router(std::size_t i) const {
+    return routers_[i];
+  }
+  double tree_weight(std::size_t i) const { return weights_[i]; }
+
+  /// Forwarding state of the whole scheme at vertex v (words).
+  std::size_t table_words(Vertex v) const;
+  /// Max over vertices — the "compactness" headline number.
+  std::size_t max_table_words() const;
+
+ private:
+  std::vector<IntervalTreeRouter> routers_;
+  std::vector<double> weights_;
+};
+
+}  // namespace sor

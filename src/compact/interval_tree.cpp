@@ -1,0 +1,135 @@
+#include "compact/interval_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/search.hpp"
+
+namespace sor {
+
+SpanningTree random_spanning_tree(const Graph& g, Rng& rng) {
+  SOR_CHECK_MSG(g.is_connected(), "spanning tree needs a connected graph");
+  std::vector<double> lengths(g.num_edges());
+  for (double& len : lengths) {
+    // Exponential perturbation: -ln(U)/1 keeps lengths positive and makes
+    // ties impossible almost surely.
+    len = -std::log(std::max(rng.next_double(), 1e-12));
+  }
+  const auto root = static_cast<Vertex>(rng.next_u64(g.num_vertices()));
+  const SpTree sp = dijkstra(g, root, lengths);
+
+  SpanningTree tree;
+  tree.root = root;
+  tree.parent.assign(g.num_vertices(), kInvalidVertex);
+  tree.parent_edge.assign(g.num_vertices(), kInvalidEdge);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (v == root) continue;
+    tree.parent_edge[v] = sp.parent_edge[v];
+    tree.parent[v] = g.other_endpoint(sp.parent_edge[v], v);
+  }
+  return tree;
+}
+
+IntervalTreeRouter::IntervalTreeRouter(const Graph& g, SpanningTree tree)
+    : graph_(&g), tree_(std::move(tree)) {
+  const std::size_t n = g.num_vertices();
+  SOR_CHECK(tree_.parent.size() == n);
+
+  // Children lists.
+  std::vector<std::vector<Vertex>> children(n);
+  for (Vertex v = 0; v < n; ++v) {
+    if (tree_.parent[v] != kInvalidVertex) {
+      children[tree_.parent[v]].push_back(v);
+    }
+  }
+
+  // Iterative DFS numbering.
+  dfs_in_.assign(n, 0);
+  dfs_out_.assign(n, 0);
+  std::uint32_t clock = 0;
+  std::vector<std::pair<Vertex, std::size_t>> stack{{tree_.root, 0}};
+  dfs_in_[tree_.root] = clock++;
+  while (!stack.empty()) {
+    auto& [v, next_child] = stack.back();
+    if (next_child < children[v].size()) {
+      const Vertex c = children[v][next_child++];
+      dfs_in_[c] = clock++;
+      stack.emplace_back(c, 0);
+    } else {
+      dfs_out_[v] = clock - 1;
+      stack.pop_back();
+    }
+  }
+
+  // Forwarding tables: per vertex, one interval per incident tree edge.
+  table_.resize(n);
+  for (Vertex v = 0; v < n; ++v) {
+    for (const Vertex c : children[v]) {
+      table_[v].push_back(
+          TableEntry{c, tree_.parent_edge[c], dfs_in_[c], dfs_out_[c]});
+    }
+    // Parent entry: "everything outside my own subtree".
+    if (tree_.parent[v] != kInvalidVertex) {
+      table_[v].push_back(TableEntry{tree_.parent[v], tree_.parent_edge[v],
+                                     dfs_in_[v], dfs_out_[v]});
+    }
+  }
+}
+
+Vertex IntervalTreeRouter::forward(Vertex at, Vertex dst) const {
+  SOR_CHECK(at != dst);
+  const std::uint32_t target = dfs_in_[dst];
+  // A child whose interval contains the target wins; otherwise route to
+  // the parent (the last table entry, whose stored interval is `at`'s own
+  // subtree — target outside it means "up").
+  for (const TableEntry& entry : table_[at]) {
+    const bool is_parent_entry = entry.neighbor == tree_.parent[at];
+    if (is_parent_entry) {
+      if (target < entry.lo || target > entry.hi) return entry.neighbor;
+    } else if (target >= entry.lo && target <= entry.hi) {
+      return entry.neighbor;
+    }
+  }
+  throw CheckError("interval forwarding failed (corrupt tables)");
+}
+
+Path IntervalTreeRouter::route(Vertex s, Vertex t) const {
+  Path p{s, t, {}};
+  Vertex at = s;
+  std::size_t guard = 0;
+  while (at != t) {
+    SOR_CHECK_MSG(++guard <= graph_->num_vertices(),
+                  "forwarding loop (corrupt tables)");
+    const Vertex next = forward(at, t);
+    // Find the tree edge to `next`.
+    EdgeId via = kInvalidEdge;
+    if (tree_.parent[at] == next) {
+      via = tree_.parent_edge[at];
+    } else {
+      via = tree_.parent_edge[next];
+    }
+    p.edges.push_back(via);
+    at = next;
+  }
+  return p;
+}
+
+std::size_t IntervalTreeRouter::table_words(Vertex v) const {
+  return 2 * table_[v].size() + 1;
+}
+
+std::size_t IntervalTreeRouter::max_table_words() const {
+  std::size_t best = 0;
+  for (Vertex v = 0; v < table_.size(); ++v) {
+    best = std::max(best, table_words(v));
+  }
+  return best;
+}
+
+std::size_t IntervalTreeRouter::total_table_words() const {
+  std::size_t total = 0;
+  for (Vertex v = 0; v < table_.size(); ++v) total += table_words(v);
+  return total;
+}
+
+}  // namespace sor

@@ -1,0 +1,78 @@
+#pragma once
+
+// Interval routing on a spanning tree — the classic compact forwarding
+// scheme (Santoro–Khatib / Thorup–Zwick interval labelling).
+//
+// The related-work axis of the paper ([31] Räcke–Schmid, [8]
+// Czerner–Räcke, [13]) studies oblivious routings whose forwarding STATE
+// is small: a router cannot store a path per (s,t) pair. The standard
+// building block is a spanning tree with DFS interval labels: each vertex
+// stores, per incident tree edge, the DFS interval of the subtree behind
+// it — O(degree) words — and forwards a packet labelled dfs(t) to the
+// neighbour whose interval contains it. CompactRoutingScheme (see
+// compact_scheme.hpp) turns an ensemble of such trees into an
+// ObliviousRouting whose total table size we can measure.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/path.hpp"
+#include "util/rng.hpp"
+
+namespace sor {
+
+/// A rooted spanning tree of a graph, stored as parent pointers + the
+/// graph edge used.
+struct SpanningTree {
+  Vertex root = kInvalidVertex;
+  std::vector<Vertex> parent;       // kInvalidVertex at the root
+  std::vector<EdgeId> parent_edge;  // kInvalidEdge at the root
+};
+
+/// Uniform-ish random spanning tree: a shortest-path tree under
+/// exponentially perturbed edge lengths from a random root. Cheap and
+/// diverse (every edge appears in some tree with decent probability).
+SpanningTree random_spanning_tree(const Graph& g, Rng& rng);
+
+/// DFS-interval forwarding tables over a spanning tree.
+class IntervalTreeRouter {
+ public:
+  IntervalTreeRouter(const Graph& g, SpanningTree tree);
+
+  /// The DFS label of a vertex (the packet "address").
+  std::uint32_t label(Vertex v) const { return dfs_in_[v]; }
+
+  /// One forwarding decision: the tree neighbour to send a packet at
+  /// `at` destined to `dst` (by label lookup in O(tree-degree)).
+  Vertex forward(Vertex at, Vertex dst) const;
+
+  /// Full route s→t by repeated forwarding (the unique tree path).
+  Path route(Vertex s, Vertex t) const;
+
+  /// Words of forwarding state stored at v: one interval (2 words) per
+  /// incident tree edge plus the vertex's own label.
+  std::size_t table_words(Vertex v) const;
+
+  /// Max / total table words over all vertices.
+  std::size_t max_table_words() const;
+  std::size_t total_table_words() const;
+
+  const SpanningTree& tree() const { return tree_; }
+
+ private:
+  struct TableEntry {
+    Vertex neighbor;
+    EdgeId via;
+    std::uint32_t lo;  // DFS interval [lo, hi] of the subtree behind
+    std::uint32_t hi;
+  };
+
+  const Graph* graph_;
+  SpanningTree tree_;
+  std::vector<std::uint32_t> dfs_in_;
+  std::vector<std::uint32_t> dfs_out_;
+  std::vector<std::vector<TableEntry>> table_;
+};
+
+}  // namespace sor

@@ -1,0 +1,69 @@
+#include "core/completion.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "core/sampler.hpp"
+#include "oblivious/hop_bounded_trees.hpp"
+#include "oblivious/hop_constrained.hpp"
+
+namespace sor {
+
+CompletionTimeRouter::CompletionTimeRouter(const Graph& g,
+                                           std::span<const VertexPair> pairs,
+                                           const CompletionOptions& options)
+    : graph_(&g), options_(options) {
+  SOR_CHECK(options.k >= 1);
+  // Scales 1, 2, 4, ... up to the first power of two >= n (every simple
+  // path has < n hops).
+  for (std::uint32_t h = 1;; h *= 2) {
+    hop_bounds_.push_back(h);
+    if (h >= g.num_vertices()) break;
+  }
+
+  SampleOptions sample;
+  sample.k = options.k;
+  for (std::size_t j = 0; j < hop_bounds_.size(); ++j) {
+    const std::uint64_t scale_seed =
+        options.seed ^ (0x9e3779b97f4a7c15ULL * (j + 1));
+    std::unique_ptr<ObliviousRouting> routing;
+    if (options.source == CompletionOptions::Source::kBoundedTrees) {
+      routing = std::make_unique<HopBoundedTreeRouting>(
+          g, hop_bounds_[j], /*num_trees=*/0, scale_seed);
+    } else {
+      routing = std::make_unique<HopConstrainedRouting>(g, hop_bounds_[j]);
+    }
+    scales_.push_back(
+        sample_path_system(*routing, pairs, sample, scale_seed));
+  }
+}
+
+PathSystem CompletionTimeRouter::combined_system() const {
+  PathSystem combined;
+  for (const PathSystem& scale : scales_) combined = merge(combined, scale);
+  return combined;
+}
+
+CompletionTimeRouter::Result CompletionTimeRouter::route(
+    const Demand& demand) const {
+  Result best;
+  best.objective = std::numeric_limits<double>::infinity();
+  for (std::size_t j = 0; j < scales_.size(); ++j) {
+    const SemiObliviousRouter router(*graph_, scales_[j], options_.router);
+    const FractionalRoute route = router.route_fractional(demand);
+    const double objective =
+        route.congestion + static_cast<double>(route.dilation);
+    if (objective < best.objective) {
+      best.congestion = route.congestion;
+      best.dilation = route.dilation;
+      best.objective = objective;
+      best.best_scale = j;
+      best.load = route.load;
+    }
+  }
+  SOR_CHECK_MSG(std::isfinite(best.objective),
+                "completion router: empty demand or no scales");
+  return best;
+}
+
+}  // namespace sor

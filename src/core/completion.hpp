@@ -1,0 +1,67 @@
+#pragma once
+
+// Completion-time-competitive semi-oblivious routing (Lemmas 2.8/2.9).
+//
+// The construction: for every geometric hop scale h_j = 2^j (j = 0 ..
+// ceil(log2 n)) sample a k-sparse subsystem from a hop-constrained
+// oblivious routing with bound h_j; the union is the semi-oblivious
+// routing (sparsity k·O(log n), the paper's quadratic-in-log sparsity
+// once k = O(log n)). To route a demand, solve the restricted LP on each
+// scale's subsystem and return the scale minimizing congestion + dilation
+// (the completion-time objective, by Leighton–Maggs–Rao O(C+D) schedules —
+// validated against the packet simulator in E5).
+
+#include <memory>
+#include <vector>
+
+#include "core/path_system.hpp"
+#include "core/router.hpp"
+#include "demand/demand.hpp"
+
+namespace sor {
+
+struct CompletionOptions {
+  /// Paths per pair per scale.
+  std::size_t k = 8;
+  std::uint64_t seed = 0;
+  RouterOptions router;
+  /// Which hop-constrained oblivious routing substitute to sample from:
+  /// ball-constrained Valiant (default) or bounded-hop FRT trees — the
+  /// two GHZ'21 stand-ins (DESIGN.md); E5 compares them.
+  enum class Source { kBallValiant, kBoundedTrees };
+  Source source = Source::kBallValiant;
+};
+
+class CompletionTimeRouter {
+ public:
+  CompletionTimeRouter(const Graph& g, std::span<const VertexPair> pairs,
+                       const CompletionOptions& options = {});
+
+  std::size_t num_scales() const { return scales_.size(); }
+  std::uint32_t scale_hop_bound(std::size_t j) const { return hop_bounds_[j]; }
+  const PathSystem& scale_system(std::size_t j) const { return scales_[j]; }
+
+  /// The full semi-oblivious object (union over scales).
+  PathSystem combined_system() const;
+
+  struct Result {
+    double congestion = 0;
+    std::size_t dilation = 0;
+    /// congestion + dilation (the completion-time surrogate).
+    double objective = 0;
+    /// Scale index whose subsystem won.
+    std::size_t best_scale = 0;
+    EdgeLoad load;
+  };
+
+  /// Routes the demand through the best scale's subsystem.
+  Result route(const Demand& demand) const;
+
+ private:
+  const Graph* graph_;
+  CompletionOptions options_;
+  std::vector<std::uint32_t> hop_bounds_;
+  std::vector<PathSystem> scales_;
+};
+
+}  // namespace sor

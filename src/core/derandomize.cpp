@@ -1,0 +1,95 @@
+#include "core/derandomize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/parallel.hpp"
+
+namespace sor {
+
+PathSystem derandomized_path_system(const ObliviousRouting& routing,
+                                    std::span<const VertexPair> pairs,
+                                    const DerandomizeOptions& options) {
+  SOR_CHECK(options.k >= 1);
+  SOR_CHECK(options.pool >= options.k);
+  const Graph& g = routing.graph();
+
+  // Deterministic candidate pools (parallel; the greedy itself is
+  // sequential because each choice conditions the next).
+  const Rng base(options.pool_seed);
+  std::vector<std::vector<Path>> pools(pairs.size());
+  parallel_for(pairs.size(), [&](std::size_t i) {
+    Rng rng = base.split(i);
+    pools[i].reserve(options.pool);
+    for (std::size_t j = 0; j < options.pool; ++j) {
+      pools[i].push_back(routing.sample_path(pairs[i].a, pairs[i].b, rng));
+    }
+  });
+
+  // α: sharp enough that an edge at ~log m units above average dominates.
+  double alpha = options.alpha;
+  if (alpha <= 0) {
+    // Expected per-edge unit load if every pair sends 1 unit over
+    // capacity-proportional spreading: |pairs| · avg hops / Σ c_e.
+    double total_capacity = 0;
+    for (const Edge& e : g.edges()) total_capacity += e.capacity;
+    double avg_hops = 0;
+    std::size_t counted = 0;
+    for (std::size_t i = 0; i < pools.size(); i += std::max<std::size_t>(
+             1, pools.size() / 64)) {
+      avg_hops += static_cast<double>(pools[i].front().hops());
+      ++counted;
+    }
+    avg_hops /= std::max<std::size_t>(counted, 1);
+    const double expected_load =
+        static_cast<double>(pairs.size()) * avg_hops / total_capacity;
+    alpha = std::log(static_cast<double>(g.num_edges()) + 2.0) /
+            std::max(expected_load, 1e-9);
+    alpha = std::min(alpha, 64.0);  // keep exp() in range
+  }
+
+  // Greedy: slot-major round-robin over pairs (slot 0 of every pair, then
+  // slot 1, ...), so early slots spread globally before duplication.
+  std::vector<double> load(g.num_edges(), 0.0);
+  const double share = 1.0 / static_cast<double>(options.k);
+
+  auto marginal_cost = [&](const Path& p) {
+    // Δ Φ restricted to p's edges (other terms cancel in comparisons).
+    double delta = 0;
+    for (EdgeId e : p.edges) {
+      const double cap = g.edge(e).capacity;
+      const double before = alpha * load[e] / cap;
+      const double after = alpha * (load[e] + share) / cap;
+      delta += std::exp(after) - std::exp(before);
+    }
+    return delta;
+  };
+
+  PathSystem system;
+  std::vector<std::vector<bool>> used(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    used[i].assign(pools[i].size(), false);
+  }
+  for (std::size_t slot = 0; slot < options.k; ++slot) {
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      std::size_t best = pools[i].size();
+      double best_cost = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < pools[i].size(); ++c) {
+        if (used[i][c]) continue;
+        const double cost = marginal_cost(pools[i][c]);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = c;
+        }
+      }
+      SOR_CHECK(best < pools[i].size());
+      used[i][best] = true;
+      for (EdgeId e : pools[i][best].edges) load[e] += share;
+      system.add(pools[i][best]);
+    }
+  }
+  return system;
+}
+
+}  // namespace sor

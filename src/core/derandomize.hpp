@@ -1,0 +1,46 @@
+#pragma once
+
+// Derandomized path selection via conditional expectations.
+//
+// The paper's §1.1 deterministic-routing consequence says a deterministic
+// and oblivious selection of a FEW paths per pair bypasses the KKT'91
+// single-path barrier. The probabilistic construction samples; this
+// module derandomizes it with the standard pessimistic-estimator greedy:
+// process pairs in a fixed order and, for each of the k slots of a pair,
+// pick the candidate (from a small pool drawn from the oblivious routing
+// with fixed seeds, or enumerated from KSP) minimizing the exponential
+// congestion potential
+//
+//      Φ = Σ_e exp(α · load(e) / c_e),
+//
+// where load assumes each selected path will carry a 1/k share of a unit
+// demand for its pair (the all-pairs pessimistic demand). Minimizing Φ
+// greedily is exactly the method of conditional expectations applied to
+// the Chernoff bounds of the Main Lemma, so the output inherits the
+// sampled construction's guarantees while being fully deterministic.
+
+#include <span>
+
+#include "core/path_system.hpp"
+#include "oblivious/routing.hpp"
+
+namespace sor {
+
+struct DerandomizeOptions {
+  /// Paths selected per pair.
+  std::size_t k = 4;
+  /// Candidate pool size per pair (drawn with a deterministic seed).
+  std::size_t pool = 16;
+  /// Potential sharpness α; 0 = auto (ln m / expected unit load).
+  double alpha = 0;
+  /// Seed for the candidate pool draws (part of the deterministic spec).
+  std::uint64_t pool_seed = 0x5eed5eed5eedULL;
+};
+
+/// Deterministically selects k paths per pair. The result is a function
+/// of (routing, pairs, options) only — rerunning yields the same system.
+PathSystem derandomized_path_system(const ObliviousRouting& routing,
+                                    std::span<const VertexPair> pairs,
+                                    const DerandomizeOptions& options = {});
+
+}  // namespace sor

@@ -1,0 +1,34 @@
+#include "core/evaluate.hpp"
+
+#include <algorithm>
+
+namespace sor {
+
+CompetitiveReport competitive_ratio(const Graph& g, double scheme_congestion,
+                                    const Demand& demand,
+                                    const McfOptions& options) {
+  CompetitiveReport report;
+  report.scheme = scheme_congestion;
+  if (demand.empty()) {
+    report.ratio = 1.0;
+    return report;
+  }
+  const std::vector<Commodity> commodities = demand.commodities();
+  const McfResult opt = min_congestion_routing(g, commodities, options);
+  report.opt = opt.congestion;
+  report.opt_lower = opt.lower_bound;
+  report.ratio = scheme_congestion / std::max(opt.congestion, 1e-12);
+  return report;
+}
+
+CompetitiveReport evaluate_path_system(const Graph& g,
+                                       const PathSystem& system,
+                                       const Demand& demand,
+                                       const RouterOptions& router_options,
+                                       const McfOptions& mcf) {
+  const SemiObliviousRouter router(g, system, router_options);
+  const FractionalRoute route = router.route_fractional(demand);
+  return competitive_ratio(g, route.congestion, demand, mcf);
+}
+
+}  // namespace sor

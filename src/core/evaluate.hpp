@@ -1,0 +1,37 @@
+#pragma once
+
+// Competitive-ratio evaluation helpers shared by tests and benches.
+
+#include "core/path_system.hpp"
+#include "core/router.hpp"
+#include "demand/demand.hpp"
+#include "flow/mcf.hpp"
+
+namespace sor {
+
+struct CompetitiveReport {
+  /// Scheme congestion (whatever the caller measured).
+  double scheme = 0;
+  /// OPT congestion: the concrete (1+ε)-optimal routing's congestion.
+  double opt = 0;
+  /// Certified lower bound on OPT (duality).
+  double opt_lower = 0;
+  /// scheme / opt — slightly conservative (opt is an upper bound on the
+  /// true optimum, so the true ratio is >= this / (1+ε)).
+  double ratio = 0;
+};
+
+/// Computes OPT(D) and the ratio for a measured scheme congestion.
+CompetitiveReport competitive_ratio(const Graph& g, double scheme_congestion,
+                                    const Demand& demand,
+                                    const McfOptions& options = {});
+
+/// End-to-end: route `demand` semi-obliviously over `system` and compare
+/// with OPT.
+CompetitiveReport evaluate_path_system(const Graph& g,
+                                       const PathSystem& system,
+                                       const Demand& demand,
+                                       const RouterOptions& router = {},
+                                       const McfOptions& mcf = {});
+
+}  // namespace sor

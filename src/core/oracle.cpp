@@ -1,0 +1,38 @@
+#include "core/oracle.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace sor {
+
+OracleSelection demand_aware_path_system(const Graph& g, const Demand& demand,
+                                         std::size_t k,
+                                         const McfOptions& options) {
+  SOR_CHECK(k >= 1);
+  OracleSelection out;
+  const std::vector<Commodity> commodities = demand.commodities();
+  McfOptions recording = options;
+  recording.record_paths = true;
+  out.mcf = min_congestion_routing(g, commodities, recording);
+
+  for (std::size_t j = 0; j < commodities.size(); ++j) {
+    // Rank the commodity's decomposition paths by carried weight.
+    std::vector<std::pair<double, const Path*>> ranked;
+    ranked.reserve(out.mcf.paths[j].size());
+    for (const auto& [path, weight] : out.mcf.paths[j]) {
+      ranked.emplace_back(weight, &path);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second->edges < b.second->edges;  // deterministic
+              });
+    const std::size_t keep = std::min(k, ranked.size());
+    for (std::size_t i = 0; i < keep; ++i) {
+      out.system.add(*ranked[i].second);
+    }
+  }
+  return out;
+}
+
+}  // namespace sor

@@ -1,0 +1,32 @@
+#pragma once
+
+// Demand-AWARE path selection — the non-oblivious oracle baseline.
+//
+// Semi-oblivious routing commits to candidate paths before the demand
+// exists. The natural upper baseline for the E14 ablation knows the
+// demand when it installs paths: solve the full MCF, decompose the
+// optimal routing into per-commodity paths, and keep each commodity's k
+// heaviest paths. The gap between this oracle and the oblivious sample
+// at equal sparsity is the "price of oblivious path selection" — the
+// quantity the paper proves is only polylog at k = O(log n).
+
+#include "core/path_system.hpp"
+#include "demand/demand.hpp"
+#include "flow/mcf.hpp"
+
+namespace sor {
+
+struct OracleSelection {
+  PathSystem system;
+  /// The MCF run it was extracted from (OPT reference for free).
+  McfResult mcf;
+};
+
+/// Builds the k-heaviest-paths-per-commodity system for `demand`.
+/// Pairs whose decomposition has fewer than k distinct paths keep what
+/// exists.
+OracleSelection demand_aware_path_system(const Graph& g, const Demand& demand,
+                                         std::size_t k,
+                                         const McfOptions& options = {});
+
+}  // namespace sor

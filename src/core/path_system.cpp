@@ -1,0 +1,121 @@
+#include "core/path_system.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace sor {
+
+Path reversed(const Path& p) {
+  Path out;
+  out.src = p.dst;
+  out.dst = p.src;
+  out.edges.assign(p.edges.rbegin(), p.edges.rend());
+  return out;
+}
+
+void PathSystem::add(Path path) {
+  SOR_CHECK_MSG(path.src != path.dst, "trivial path in path system");
+  if (path.src > path.dst) path = reversed(path);
+  paths_[VertexPair{path.src, path.dst}].push_back(std::move(path));
+}
+
+bool PathSystem::has_pair(Vertex s, Vertex t) const {
+  return paths_.contains(VertexPair::canonical(s, t));
+}
+
+std::span<const Path> PathSystem::canonical_paths(Vertex s, Vertex t) const {
+  const auto it = paths_.find(VertexPair::canonical(s, t));
+  if (it == paths_.end()) return {};
+  return it->second;
+}
+
+std::vector<Path> PathSystem::paths_oriented(Vertex s, Vertex t) const {
+  std::vector<Path> out;
+  for (const Path& p : canonical_paths(s, t)) {
+    out.push_back(p.src == s ? p : reversed(p));
+  }
+  return out;
+}
+
+std::vector<VertexPair> PathSystem::pairs() const {
+  std::vector<VertexPair> out;
+  out.reserve(paths_.size());
+  for (const auto& [pair, list] : paths_) out.push_back(pair);
+  std::sort(out.begin(), out.end(), [](const VertexPair& x, const VertexPair& y) {
+    return std::tie(x.a, x.b) < std::tie(y.a, y.b);
+  });
+  return out;
+}
+
+std::size_t PathSystem::max_sparsity() const {
+  std::size_t best = 0;
+  for (const auto& [pair, list] : paths_) best = std::max(best, list.size());
+  return best;
+}
+
+std::size_t PathSystem::total_paths() const {
+  std::size_t total = 0;
+  for (const auto& [pair, list] : paths_) total += list.size();
+  return total;
+}
+
+void PathSystem::deduplicate() {
+  for (auto& [pair, list] : paths_) {
+    std::unordered_set<Path, PathHash> seen;
+    std::vector<Path> unique;
+    unique.reserve(list.size());
+    for (Path& p : list) {
+      if (seen.insert(p).second) unique.push_back(std::move(p));
+    }
+    list = std::move(unique);
+  }
+}
+
+std::size_t PathSystem::max_hops() const {
+  std::size_t best = 0;
+  for (const auto& [pair, list] : paths_) {
+    for (const Path& p : list) best = std::max(best, p.hops());
+  }
+  return best;
+}
+
+double mean_pairwise_overlap(const PathSystem& system) {
+  double total = 0;
+  std::size_t counted = 0;
+  for (const VertexPair& pair : system.pairs()) {
+    const auto paths = system.canonical_paths(pair.a, pair.b);
+    if (paths.size() < 2) continue;
+    double pair_total = 0;
+    std::size_t pair_count = 0;
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      std::unordered_set<EdgeId> edges_i(paths[i].edges.begin(),
+                                         paths[i].edges.end());
+      for (std::size_t j = i + 1; j < paths.size(); ++j) {
+        std::size_t common = 0;
+        for (EdgeId e : paths[j].edges) common += edges_i.contains(e);
+        const std::size_t unions =
+            edges_i.size() + paths[j].edges.size() - common;
+        pair_total += unions == 0
+                          ? 1.0
+                          : static_cast<double>(common) /
+                                static_cast<double>(unions);
+        ++pair_count;
+      }
+    }
+    total += pair_total / static_cast<double>(pair_count);
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+PathSystem merge(const PathSystem& a, const PathSystem& b) {
+  PathSystem out = a;
+  for (const VertexPair& pair : b.pairs()) {
+    for (const Path& p : b.canonical_paths(pair.a, pair.b)) {
+      out.add(p);
+    }
+  }
+  return out;
+}
+
+}  // namespace sor

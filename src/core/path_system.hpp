@@ -1,0 +1,70 @@
+#pragma once
+
+// Path systems (Definition 2.1) — the semi-oblivious routing object.
+//
+// A path system P associates a multiset of candidate simple paths with
+// vertex pairs. Paths are stored in canonical orientation (from the
+// smaller vertex id); `paths_oriented` rewinds them for a requested
+// direction. Multiplicities are kept: a (λ·k)-sample draws with
+// replacement, and the weak-routing process weights paths per sampled
+// instance.
+
+#include <unordered_map>
+#include <vector>
+
+#include "demand/demand.hpp"
+#include "graph/graph.hpp"
+#include "graph/path.hpp"
+
+namespace sor {
+
+class PathSystem {
+ public:
+  PathSystem() = default;
+
+  /// Adds one candidate path (any orientation; canonicalized internally).
+  /// The path must not be trivial (src != dst).
+  void add(Path path);
+
+  bool has_pair(Vertex s, Vertex t) const;
+
+  /// Candidate paths oriented s→t (copies). Empty if the pair is absent.
+  std::vector<Path> paths_oriented(Vertex s, Vertex t) const;
+
+  /// Candidate paths in canonical orientation (no copy).
+  std::span<const Path> canonical_paths(Vertex s, Vertex t) const;
+
+  /// All pairs with at least one path, sorted (deterministic iteration).
+  std::vector<VertexPair> pairs() const;
+
+  /// k such that the system is k-sparse: max candidates over pairs.
+  std::size_t max_sparsity() const;
+
+  std::size_t num_pairs() const { return paths_.size(); }
+  std::size_t total_paths() const;
+
+  /// Removes duplicate paths within each pair (keeps first occurrences).
+  void deduplicate();
+
+  /// Largest hop count over all stored paths (0 if empty).
+  std::size_t max_hops() const;
+
+ private:
+  std::unordered_map<VertexPair, std::vector<Path>, VertexPairHash> paths_;
+};
+
+/// Reverses a path in place representation (returns the reversed copy).
+Path reversed(const Path& p);
+
+/// Merges two systems (multiset union).
+PathSystem merge(const PathSystem& a, const PathSystem& b);
+
+/// Diversity statistic: the mean, over pairs with >= 2 candidates, of the
+/// average pairwise Jaccard edge-overlap of the pair's candidates (0 =
+/// fully edge-disjoint, 1 = identical). Correlated candidate sets (e.g.
+/// k-shortest paths sharing a corridor) score high; samples from a
+/// spread-out oblivious routing score low — the mechanism behind the E8
+/// ablation and the E10 robustness gap.
+double mean_pairwise_overlap(const PathSystem& system);
+
+}  // namespace sor

@@ -1,0 +1,83 @@
+#include "core/sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+#include "demand/generators.hpp"
+#include "flow/maxflow.hpp"
+#include "util/parallel.hpp"
+
+namespace sor {
+
+PathSystem sample_path_system(const ObliviousRouting& routing,
+                              std::span<const VertexPair> pairs,
+                              const SampleOptions& options,
+                              std::uint64_t seed) {
+  SOR_CHECK(options.k >= 1);
+  const Graph& g = routing.graph();
+  const Rng base(seed);
+
+  std::vector<std::vector<Path>> sampled(pairs.size());
+  parallel_for(pairs.size(), [&](std::size_t i) {
+    const VertexPair pair = pairs[i];
+    Rng rng = base.split(i);
+    std::size_t count = options.k;
+    if (options.lambda_cap > 0) {
+      std::uint32_t lambda = 0;
+      if (options.gomory_hu != nullptr) {
+        const double cut = options.gomory_hu->min_cut(pair.a, pair.b);
+        lambda = static_cast<std::uint32_t>(std::clamp(
+            std::floor(cut + 1e-6), 1.0,
+            static_cast<double>(options.lambda_cap)));
+      } else {
+        lambda = min_cut_at_most(g, pair.a, pair.b, options.lambda_cap);
+      }
+      count *= lambda;
+    }
+    sampled[i].reserve(count);
+    for (std::size_t j = 0; j < count; ++j) {
+      sampled[i].push_back(routing.sample_path(pair.a, pair.b, rng));
+    }
+  });
+
+  PathSystem system;
+  for (auto& list : sampled) {
+    for (Path& p : list) system.add(std::move(p));
+  }
+  if (options.deduplicate) system.deduplicate();
+  return system;
+}
+
+PathSystem sample_path_system_all_pairs(const ObliviousRouting& routing,
+                                        const SampleOptions& options,
+                                        std::uint64_t seed) {
+  const std::vector<Vertex> verts = all_vertices(routing.graph());
+  const std::vector<VertexPair> pairs = all_pairs(verts);
+  return sample_path_system(routing, pairs, options, seed);
+}
+
+PathSystem sample_path_system_for_demand(const ObliviousRouting& routing,
+                                         const Demand& demand,
+                                         const SampleOptions& options,
+                                         std::uint64_t seed) {
+  std::vector<VertexPair> pairs;
+  pairs.reserve(demand.support_size());
+  for (const Commodity& c : demand.commodities()) {
+    pairs.push_back(VertexPair::canonical(c.src, c.dst));
+  }
+  return sample_path_system(routing, pairs, options, seed);
+}
+
+std::vector<VertexPair> all_pairs(std::span<const Vertex> vertices) {
+  std::vector<VertexPair> pairs;
+  pairs.reserve(vertices.size() * (vertices.size() - 1) / 2);
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    for (std::size_t j = i + 1; j < vertices.size(); ++j) {
+      pairs.push_back(VertexPair::canonical(vertices[i], vertices[j]));
+    }
+  }
+  return pairs;
+}
+
+}  // namespace sor

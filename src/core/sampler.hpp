@@ -1,0 +1,52 @@
+#pragma once
+
+// (λ·k)-samples of an oblivious routing (Definition 5.2) — the paper's
+// entire construction: "for each pair of vertices, sample a few random
+// paths from any good oblivious routing".
+
+#include <span>
+
+#include "core/path_system.hpp"
+#include "flow/gomory_hu.hpp"
+#include "oblivious/routing.hpp"
+
+namespace sor {
+
+struct SampleOptions {
+  /// Paths per pair (the sparsity parameter k).
+  std::size_t k = 8;
+  /// If positive, sample λ(s,t)·k paths instead of k, with λ(s,t) the
+  /// s-t min cut clamped to [1, lambda_cap] (Definition 5.2's λ·k-sample;
+  /// required for competitiveness on arbitrary, non-1, demands).
+  std::uint32_t lambda_cap = 0;
+  /// Optional precomputed Gomory–Hu tree for the λ queries (n−1 max
+  /// flows once instead of one per pair; must be built on the SAME
+  /// graph). Only consulted when lambda_cap > 0.
+  const GomoryHuTree* gomory_hu = nullptr;
+  /// Drop duplicate sampled paths (the LP never benefits from copies; the
+  /// weak-routing process wants them kept, its tests sample with false).
+  bool deduplicate = false;
+};
+
+/// Samples a path system over the given pairs. Deterministic in (routing,
+/// pairs, options, seed); pairs are processed in parallel, each with an
+/// independent per-index RNG stream.
+PathSystem sample_path_system(const ObliviousRouting& routing,
+                              std::span<const VertexPair> pairs,
+                              const SampleOptions& options, std::uint64_t seed);
+
+/// Convenience: all n·(n−1)/2 vertex pairs of the routing's graph.
+PathSystem sample_path_system_all_pairs(const ObliviousRouting& routing,
+                                        const SampleOptions& options,
+                                        std::uint64_t seed);
+
+/// Convenience: just the pairs in a demand's support.
+PathSystem sample_path_system_for_demand(const ObliviousRouting& routing,
+                                         const Demand& demand,
+                                         const SampleOptions& options,
+                                         std::uint64_t seed);
+
+/// All unordered pairs over a vertex subset.
+std::vector<VertexPair> all_pairs(std::span<const Vertex> vertices);
+
+}  // namespace sor

@@ -1,0 +1,59 @@
+#pragma once
+
+// Special demands and the special→general reduction (Definition 5.5,
+// Lemma 5.9) as runnable algorithms.
+//
+// A demand D is q-special w.r.t. a path system P if for every pair either
+// D(s,t) = 0 or D(s,t) / |P(s,t)| = q: the Main Lemma needs the per-path
+// initial shares to be a single scale so its Chernoff variables are
+// binary. Lemma 5.9 reduces arbitrary demands to specials by bucketing
+// pairs whose ratio D(s,t)/|P(s,t)| falls in the same power-of-two range,
+// rounding each bucket UP to the bucket's ceiling ratio (a ≤ 2× demand
+// increase), routing each bucket separately, and summing — only
+// O(log(max/min ratio)) buckets, each a special demand.
+
+#include <vector>
+
+#include "core/path_system.hpp"
+#include "demand/demand.hpp"
+
+namespace sor {
+
+/// True iff D(s,t)/|P(s,t)| is the same value q (or zero) for all pairs.
+/// Every demanded pair must have candidates in `system`.
+bool is_special_demand(const Demand& demand, const PathSystem& system,
+                       double tolerance = 1e-9);
+
+struct SpecialBucket {
+  /// The rounded-up special demand of this bucket.
+  Demand demand;
+  /// Its ratio q = demand(s,t) / |P(s,t)| (same for all pairs inside).
+  double ratio = 0;
+};
+
+/// Lemma 5.9's bucketing: splits `demand` into ≤ log2(max/min ratio) + 1
+/// buckets, each q-special w.r.t. `system` after rounding entries up to
+/// q·|P(s,t)| (q = the bucket's ceiling ratio). The bucket demands
+/// pointwise dominate the split of the original, so any routing of all
+/// buckets routes the original. Every demanded pair must have candidates.
+std::vector<SpecialBucket> split_into_special(const Demand& demand,
+                                              const PathSystem& system);
+
+/// The reduction end-to-end: routes each bucket with the provided routing
+/// function (e.g. the weak→strong halving router or the restricted LP)
+/// and returns the summed load. `route_bucket` must return the bucket's
+/// edge load.
+template <typename RouteFn>
+EdgeLoad route_via_special_buckets(const Graph& g, const Demand& demand,
+                                   const PathSystem& system,
+                                   RouteFn&& route_bucket) {
+  EdgeLoad total = zero_load(g);
+  for (const SpecialBucket& bucket : split_into_special(demand, system)) {
+    const EdgeLoad load = route_bucket(bucket);
+    SOR_CHECK(load.size() == total.size());
+    for (EdgeId e = 0; e < total.size(); ++e) total[e] += load[e];
+  }
+  return total;
+}
+
+}  // namespace sor

@@ -1,0 +1,57 @@
+#pragma once
+
+// The paper's proof machinery as runnable algorithms.
+//
+// weak_routing_process — the Section 5.3 dynamic process: start with every
+// sampled candidate carrying an equal share of its commodity's demand,
+// sweep the edges in the graph's fixed id order, and whenever an edge's
+// congestion exceeds the threshold delete (zero) every candidate crossing
+// it. What survives routes a sub-demand with congestion <= threshold; the
+// Main Lemma says that with a (λ·k)-sample at threshold O(β·k) at least
+// half the demand survives with exponentially small failure probability —
+// property-tested in tests/weak_routing_test.cpp.
+//
+// route_by_halving — the Lemma 5.8 weak→strong reduction as an actual
+// router: repeatedly run the process, commit the pairs that kept at least
+// a quarter of their demand, recurse on the rest. O(log |D|) rounds, each
+// adding <= threshold congestion.
+
+#include "core/path_system.hpp"
+#include "demand/demand.hpp"
+#include "lp/path_lp.hpp"
+
+namespace sor {
+
+struct WeakRoutingResult {
+  /// Σ of surviving weights (how much demand the survivors route).
+  double routed_amount = 0;
+  double total_demand = 0;
+  /// Congestion of the surviving weights (<= threshold by construction).
+  double congestion = 0;
+  EdgeLoad load;
+  /// Surviving per-commodity path weights (zeros where deleted).
+  std::vector<std::vector<double>> weights;
+  /// Edges that overcongested and triggered deletions, in sweep order.
+  std::vector<EdgeId> deleted_edges;
+};
+
+/// Runs the deletion process at the given congestion threshold.
+WeakRoutingResult weak_routing_process(const RestrictedProblem& problem,
+                                       double threshold);
+
+struct HalvingRouteResult {
+  double congestion = 0;
+  EdgeLoad load;
+  std::size_t rounds = 0;
+  /// Demand that still had no surviving candidates after max_rounds and
+  /// was force-routed on arbitrary candidates (0 when the process behaves
+  /// as the Main Lemma predicts).
+  double force_routed = 0;
+};
+
+/// Routes the whole demand by repeated weak routing (threshold per round).
+HalvingRouteResult route_by_halving(const Graph& g, const PathSystem& system,
+                                    const Demand& demand, double threshold,
+                                    std::size_t max_rounds = 64);
+
+}  // namespace sor

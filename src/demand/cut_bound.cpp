@@ -1,0 +1,75 @@
+#include "demand/cut_bound.hpp"
+
+#include <algorithm>
+
+namespace sor {
+
+double cut_ratio(const Graph& g, const Demand& demand,
+                 const std::vector<bool>& side) {
+  SOR_CHECK(side.size() == g.num_vertices());
+  double capacity = 0;
+  for (const Edge& e : g.edges()) {
+    if (side[e.u] != side[e.v]) capacity += e.capacity;
+  }
+  if (capacity <= 0) return 0;  // degenerate (all/none): no constraint
+  double across = 0;
+  for (const auto& [pair, amount] : demand.entries()) {
+    if (side[pair.a] != side[pair.b]) across += amount;
+  }
+  return across / capacity;
+}
+
+CutBound best_gomory_hu_cut_bound(const Graph& g, const GomoryHuTree& tree,
+                                  const Demand& demand) {
+  const std::size_t n = g.num_vertices();
+  // children lists of the GH tree.
+  std::vector<std::vector<Vertex>> children(n);
+  Vertex root = kInvalidVertex;
+  for (Vertex v = 0; v < n; ++v) {
+    if (tree.parent(v) == kInvalidVertex) {
+      root = v;
+    } else {
+      children[tree.parent(v)].push_back(v);
+    }
+  }
+  SOR_CHECK(root != kInvalidVertex);
+
+  // Postorder subtree membership bitmaps would be O(n²) memory; instead
+  // compute, for each tree edge (v, parent), the subtree of v via one DFS
+  // per edge — O(n²) time total, fine at library scale (n <= a few
+  // thousand).
+  CutBound best;
+  std::vector<Vertex> stack;
+  for (Vertex v = 0; v < n; ++v) {
+    if (tree.parent(v) == kInvalidVertex) continue;
+    std::vector<bool> side(n, false);
+    stack.assign(1, v);
+    side[v] = true;
+    while (!stack.empty()) {
+      const Vertex at = stack.back();
+      stack.pop_back();
+      for (Vertex c : children[at]) {
+        side[c] = true;
+        stack.push_back(c);
+      }
+    }
+    const double ratio = cut_ratio(g, demand, side);
+    if (ratio > best.bound) {
+      best.bound = ratio;
+      best.side = side;
+      double capacity = 0;
+      double across = 0;
+      for (const Edge& e : g.edges()) {
+        if (side[e.u] != side[e.v]) capacity += e.capacity;
+      }
+      for (const auto& [pair, amount] : demand.entries()) {
+        if (side[pair.a] != side[pair.b]) across += amount;
+      }
+      best.cut_capacity = capacity;
+      best.demand_across = across;
+    }
+  }
+  return best;
+}
+
+}  // namespace sor

@@ -1,0 +1,40 @@
+#pragma once
+
+// Cut-based congestion lower bounds.
+//
+// For any demand D and any vertex set S, every routing pushes the demand
+// separated by S across the cut δ(S), so
+//
+//     OPT(D) >= demand_across(S) / capacity(δ(S)).
+//
+// Maximizing over the n−1 fundamental cuts of a Gomory–Hu tree gives a
+// strong certified lower bound in O(n) cut evaluations — an independent
+// cross-check of the Garg–Könemann duality bound, and the quantity the
+// §2.1 dumbbell discussion ("we need at least λ(s,t) candidate paths")
+// is about.
+
+#include "demand/demand.hpp"
+#include "flow/gomory_hu.hpp"
+#include "graph/graph.hpp"
+
+namespace sor {
+
+struct CutBound {
+  /// The best lower bound found: max over cuts of demand/capacity.
+  double bound = 0;
+  /// The side of the best cut (true = inside the subtree component).
+  std::vector<bool> side;
+  double cut_capacity = 0;
+  double demand_across = 0;
+};
+
+/// Evaluates one cut given its side bitmap.
+double cut_ratio(const Graph& g, const Demand& demand,
+                 const std::vector<bool>& side);
+
+/// Max over the Gomory–Hu tree's fundamental cuts. The tree must be built
+/// on the same graph.
+CutBound best_gomory_hu_cut_bound(const Graph& g, const GomoryHuTree& tree,
+                                  const Demand& demand);
+
+}  // namespace sor

@@ -1,0 +1,71 @@
+#include "demand/demand.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sor {
+
+void Demand::add(Vertex x, Vertex y, double amount) {
+  SOR_CHECK_MSG(x != y, "demand between a vertex and itself");
+  SOR_CHECK_MSG(amount >= 0, "negative demand");
+  if (amount == 0) return;
+  entries_[VertexPair::canonical(x, y)] += amount;
+}
+
+double Demand::at(Vertex x, Vertex y) const {
+  const auto it = entries_.find(VertexPair::canonical(x, y));
+  return it == entries_.end() ? 0.0 : it->second;
+}
+
+double Demand::total() const {
+  double sum = 0;
+  for (const auto& [pair, value] : entries_) sum += value;
+  return sum;
+}
+
+double Demand::max_entry() const {
+  double best = 0;
+  for (const auto& [pair, value] : entries_) best = std::max(best, value);
+  return best;
+}
+
+void Demand::scale(double factor) {
+  SOR_CHECK(factor > 0);
+  for (auto& [pair, value] : entries_) value *= factor;
+}
+
+std::vector<Commodity> Demand::commodities() const {
+  std::vector<Commodity> out;
+  out.reserve(entries_.size());
+  for (const auto& [pair, value] : entries_) {
+    out.push_back(Commodity{pair.a, pair.b, value});
+  }
+  std::sort(out.begin(), out.end(), [](const Commodity& x, const Commodity& y) {
+    return std::tie(x.src, x.dst) < std::tie(y.src, y.dst);
+  });
+  return out;
+}
+
+bool Demand::is_integral(double eps) const {
+  for (const auto& [pair, value] : entries_) {
+    if (std::abs(value - std::round(value)) > eps) return false;
+  }
+  return true;
+}
+
+bool Demand::is_one_demand(double eps) const {
+  for (const auto& [pair, value] : entries_) {
+    if (value > 1.0 + eps) return false;
+  }
+  return true;
+}
+
+Demand Demand::sum(const Demand& a, const Demand& b) {
+  Demand out = a;
+  for (const auto& [pair, value] : b.entries_) {
+    out.entries_[pair] += value;
+  }
+  return out;
+}
+
+}  // namespace sor

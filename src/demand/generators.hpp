@@ -1,0 +1,61 @@
+#pragma once
+
+// Demand generators for the experiment suite.
+//
+// All randomized generators take an explicit Rng. Hypercube-specific
+// adversarial patterns (bit complement / reversal / transpose) are the
+// classical worst cases for deterministic oblivious routing; the gravity
+// model is the standard traffic-engineering synthetic workload.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "demand/demand.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace sor {
+
+/// Uniformly random permutation demand over the given endpoints (defaults
+/// to all vertices): pairs {v, π(v)}, fixed points skipped. Each unordered
+/// pair accumulates, so involutive positions yield entries of weight 2
+/// (still a 2-demand; the experiments treat it as a unit workload).
+Demand random_permutation_demand(const Graph& g, Rng& rng);
+Demand random_permutation_demand(std::span<const Vertex> endpoints, Rng& rng);
+
+/// Hypercube bit-complement: v ↔ ~v (pairs each vertex with its antipode).
+Demand bit_complement_demand(std::uint32_t dimension);
+
+/// Hypercube bit-reversal: v ↔ reverse of v's bit string.
+Demand bit_reversal_demand(std::uint32_t dimension);
+
+/// Hypercube transpose: for even dimension 2b, swaps the high and low
+/// halves of the address (the classic matrix-transpose traffic pattern).
+Demand transpose_demand(std::uint32_t dimension);
+
+/// `count` pairs drawn uniformly (with replacement) among distinct vertex
+/// pairs, each of weight `amount`.
+Demand uniform_random_pairs(const Graph& g, std::size_t count, double amount,
+                            Rng& rng);
+
+/// Gravity model over `endpoints` (default: all vertices): each directed
+/// mass w_v = incident capacity; D({s,t}) ∝ w_s·w_t, normalized so the
+/// total demand equals `total`. Deterministic.
+Demand gravity_demand(const Graph& g, double total);
+Demand gravity_demand(const Graph& g, std::span<const Vertex> endpoints,
+                      double total);
+
+/// Gravity demand with multiplicative noise exp(σ·N(0,1)) per entry —
+/// models diurnal churn for the robustness experiment (E6).
+Demand perturbed_gravity_demand(const Graph& g,
+                                std::span<const Vertex> endpoints,
+                                double total, double sigma, Rng& rng);
+
+/// All-to-all demand of `amount` per pair over the endpoints.
+Demand all_to_all_demand(std::span<const Vertex> endpoints, double amount);
+
+/// All vertices of a graph, 0..n-1 (convenience for the endpoint spans).
+std::vector<Vertex> all_vertices(const Graph& g);
+
+}  // namespace sor

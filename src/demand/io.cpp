@@ -1,0 +1,43 @@
+#include "demand/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace sor {
+
+void write_demand(const Demand& demand, std::ostream& os) {
+  for (const Commodity& c : demand.commodities()) {
+    os << c.src << " " << c.dst << " " << c.amount << "\n";
+  }
+}
+
+Demand read_demand(std::istream& is) {
+  Demand demand;
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream row(line);
+    Vertex s = 0, t = 0;
+    double amount = 0;
+    SOR_CHECK_MSG(static_cast<bool>(row >> s >> t >> amount),
+                  "demand file: bad line: " << line);
+    demand.add(s, t, amount);
+  }
+  return demand;
+}
+
+void save_demand(const Demand& demand, const std::string& path) {
+  std::ofstream os(path);
+  SOR_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+  write_demand(demand, os);
+  SOR_CHECK_MSG(os.good(), "write to " << path << " failed");
+}
+
+Demand load_demand(const std::string& path) {
+  std::ifstream is(path);
+  SOR_CHECK_MSG(is.good(), "cannot open " << path);
+  return read_demand(is);
+}
+
+}  // namespace sor

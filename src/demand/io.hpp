@@ -1,0 +1,21 @@
+#pragma once
+
+// Demand matrix serialization: one "<s> <t> <amount>" line per pair,
+// '#' comments allowed. Round-trips exactly up to pair ordering (the
+// format is canonical: pairs sorted, smaller endpoint first).
+
+#include <iosfwd>
+#include <string>
+
+#include "demand/demand.hpp"
+
+namespace sor {
+
+void write_demand(const Demand& demand, std::ostream& os);
+Demand read_demand(std::istream& is);
+
+/// File wrappers; throw CheckError on I/O failure.
+void save_demand(const Demand& demand, const std::string& path);
+Demand load_demand(const std::string& path);
+
+}  // namespace sor

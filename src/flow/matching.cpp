@@ -1,0 +1,101 @@
+#include "flow/matching.hpp"
+
+#include <deque>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace sor {
+
+namespace {
+
+class HopcroftKarp {
+ public:
+  HopcroftKarp(std::size_t num_left, std::size_t num_right,
+               const std::vector<std::vector<std::uint32_t>>& adjacency)
+      : adj_(adjacency),
+        match_left_(num_left, kUnmatched),
+        match_right_(num_right, kUnmatched),
+        dist_(num_left) {}
+
+  std::vector<std::uint32_t> solve() {
+    while (bfs()) {
+      for (std::uint32_t l = 0; l < match_left_.size(); ++l) {
+        if (match_left_[l] == kUnmatched) dfs(l);
+      }
+    }
+    return match_left_;
+  }
+
+ private:
+  static constexpr std::uint32_t kInf =
+      std::numeric_limits<std::uint32_t>::max();
+
+  bool bfs() {
+    std::deque<std::uint32_t> queue;
+    for (std::uint32_t l = 0; l < match_left_.size(); ++l) {
+      if (match_left_[l] == kUnmatched) {
+        dist_[l] = 0;
+        queue.push_back(l);
+      } else {
+        dist_[l] = kInf;
+      }
+    }
+    bool found_augmenting = false;
+    while (!queue.empty()) {
+      const std::uint32_t l = queue.front();
+      queue.pop_front();
+      for (std::uint32_t r : adj_[l]) {
+        const std::uint32_t next = match_right_[r];
+        if (next == kUnmatched) {
+          found_augmenting = true;
+        } else if (dist_[next] == kInf) {
+          dist_[next] = dist_[l] + 1;
+          queue.push_back(next);
+        }
+      }
+    }
+    return found_augmenting;
+  }
+
+  bool dfs(std::uint32_t l) {
+    for (std::uint32_t r : adj_[l]) {
+      const std::uint32_t next = match_right_[r];
+      if (next == kUnmatched ||
+          (dist_[next] == dist_[l] + 1 && dfs(next))) {
+        match_left_[l] = r;
+        match_right_[r] = l;
+        return true;
+      }
+    }
+    dist_[l] = kInf;
+    return false;
+  }
+
+  const std::vector<std::vector<std::uint32_t>>& adj_;
+  std::vector<std::uint32_t> match_left_;
+  std::vector<std::uint32_t> match_right_;
+  std::vector<std::uint32_t> dist_;
+};
+
+}  // namespace
+
+std::vector<std::uint32_t> maximum_bipartite_matching(
+    std::size_t num_left, std::size_t num_right,
+    const std::vector<std::vector<std::uint32_t>>& adjacency) {
+  SOR_CHECK(adjacency.size() == num_left);
+  for (const auto& nbrs : adjacency) {
+    for (std::uint32_t r : nbrs) SOR_CHECK(r < num_right);
+  }
+  return HopcroftKarp(num_left, num_right, adjacency).solve();
+}
+
+std::size_t matching_size(const std::vector<std::uint32_t>& match_of_left) {
+  std::size_t size = 0;
+  for (std::uint32_t r : match_of_left) {
+    if (r != kUnmatched) ++size;
+  }
+  return size;
+}
+
+}  // namespace sor

@@ -1,0 +1,28 @@
+#pragma once
+
+// Hopcroft–Karp maximum bipartite matching.
+//
+// Used by the §8 lower-bound adversary: having pinned a small set S of
+// middle vertices, it finds the largest set of (left-leaf, right-leaf)
+// pairs — matched one-to-one — whose candidate paths all route through S,
+// which is exactly a maximum matching in a bipartite "pair is S-confined"
+// graph (Hall's theorem step of Lemma 8.1 made constructive).
+
+#include <cstdint>
+#include <vector>
+
+namespace sor {
+
+/// adjacency[l] lists the right-side vertices compatible with left vertex
+/// l. Returns match_of_left: for each left vertex, the matched right vertex
+/// or kUnmatched.
+inline constexpr std::uint32_t kUnmatched = static_cast<std::uint32_t>(-1);
+
+std::vector<std::uint32_t> maximum_bipartite_matching(
+    std::size_t num_left, std::size_t num_right,
+    const std::vector<std::vector<std::uint32_t>>& adjacency);
+
+/// Size of the matching returned by maximum_bipartite_matching.
+std::size_t matching_size(const std::vector<std::uint32_t>& match_of_left);
+
+}  // namespace sor

@@ -1,0 +1,152 @@
+#include "flow/maxflow.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+namespace sor {
+
+namespace {
+
+constexpr double kFlowEps = 1e-9;
+
+/// Arc-based residual network for Dinic. Arc 2i and 2i+1 are the two
+/// directions of undirected edge i.
+class Dinic {
+ public:
+  Dinic(const Graph& g, Vertex s, Vertex t) : g_(g), s_(s), t_(t) {
+    const std::size_t m = g.num_edges();
+    residual_.resize(2 * m);
+    for (std::size_t e = 0; e < m; ++e) {
+      residual_[2 * e] = g.edge(static_cast<EdgeId>(e)).capacity;  // u→v
+      residual_[2 * e + 1] = g.edge(static_cast<EdgeId>(e)).capacity;
+    }
+    level_.resize(g.num_vertices());
+    iter_.resize(g.num_vertices());
+  }
+
+  /// Runs to completion, or stops early once `flow_cap` is reached.
+  double run(double flow_cap = std::numeric_limits<double>::infinity()) {
+    double total = 0;
+    while (total + kFlowEps < flow_cap && bfs()) {
+      std::fill(iter_.begin(), iter_.end(), std::size_t{0});
+      for (;;) {
+        const double pushed = dfs(s_, flow_cap - total);
+        if (pushed <= kFlowEps) break;
+        total += pushed;
+        if (total + kFlowEps >= flow_cap) break;
+      }
+    }
+    return total;
+  }
+
+  std::vector<bool> source_side() const {
+    std::vector<bool> side(g_.num_vertices(), false);
+    std::deque<Vertex> queue{s_};
+    side[s_] = true;
+    while (!queue.empty()) {
+      const Vertex v = queue.front();
+      queue.pop_front();
+      for (const HalfEdge& h : g_.neighbors(v)) {
+        const std::size_t arc = arc_id(h.id, v);
+        if (!side[h.to] && residual_[arc] > kFlowEps) {
+          side[h.to] = true;
+          queue.push_back(h.to);
+        }
+      }
+    }
+    return side;
+  }
+
+  std::vector<double> edge_flow() const {
+    std::vector<double> flow(g_.num_edges());
+    for (std::size_t e = 0; e < g_.num_edges(); ++e) {
+      // Net u→v flow f leaves residual_[2e] = cap − f and
+      // residual_[2e+1] = cap + f, so f = (rev − fwd) / 2.
+      flow[e] = (residual_[2 * e + 1] - residual_[2 * e]) / 2;
+    }
+    return flow;
+  }
+
+ private:
+  /// Arc index for traversing edge `e` starting from vertex `from`.
+  std::size_t arc_id(EdgeId e, Vertex from) const {
+    return 2 * static_cast<std::size_t>(e) +
+           (g_.edge(e).u == from ? 0 : 1);
+  }
+
+  bool bfs() {
+    std::fill(level_.begin(), level_.end(), -1);
+    std::deque<Vertex> queue{s_};
+    level_[s_] = 0;
+    while (!queue.empty()) {
+      const Vertex v = queue.front();
+      queue.pop_front();
+      for (const HalfEdge& h : g_.neighbors(v)) {
+        if (level_[h.to] < 0 && residual_[arc_id(h.id, v)] > kFlowEps) {
+          level_[h.to] = level_[v] + 1;
+          queue.push_back(h.to);
+        }
+      }
+    }
+    return level_[t_] >= 0;
+  }
+
+  double dfs(Vertex v, double limit) {
+    if (v == t_) return limit;
+    const auto nbrs = g_.neighbors(v);
+    for (std::size_t& i = iter_[v]; i < nbrs.size(); ++i) {
+      const HalfEdge& h = nbrs[i];
+      const std::size_t arc = arc_id(h.id, v);
+      if (level_[h.to] != level_[v] + 1 || residual_[arc] <= kFlowEps) {
+        continue;
+      }
+      const double pushed =
+          dfs(h.to, std::min(limit, residual_[arc]));
+      if (pushed > kFlowEps) {
+        residual_[arc] -= pushed;
+        residual_[arc ^ 1] += pushed;
+        return pushed;
+      }
+    }
+    return 0;
+  }
+
+  const Graph& g_;
+  Vertex s_;
+  Vertex t_;
+  std::vector<double> residual_;
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+};
+
+}  // namespace
+
+MaxFlowResult max_flow(const Graph& g, Vertex s, Vertex t) {
+  SOR_CHECK(s < g.num_vertices() && t < g.num_vertices());
+  SOR_CHECK_MSG(s != t, "max_flow requires distinct endpoints");
+  Dinic dinic(g, s, t);
+  MaxFlowResult result;
+  result.value = dinic.run();
+  result.source_side = dinic.source_side();
+  result.edge_flow = dinic.edge_flow();
+  return result;
+}
+
+double min_cut_value(const Graph& g, Vertex s, Vertex t) {
+  return max_flow(g, s, t).value;
+}
+
+std::uint32_t min_cut_at_most(const Graph& g, Vertex s, Vertex t,
+                              std::uint32_t cap) {
+  SOR_CHECK(cap >= 1);
+  SOR_CHECK(s != t);
+  Dinic dinic(g, s, t);
+  const double value = dinic.run(static_cast<double>(cap));
+  const double floored = std::floor(value + 1e-6);
+  return static_cast<std::uint32_t>(
+      std::clamp(floored, 1.0, static_cast<double>(cap)));
+}
+
+}  // namespace sor

@@ -1,0 +1,38 @@
+#pragma once
+
+// Dinic's max-flow / min-cut on the library's undirected multigraphs.
+//
+// Each undirected edge of capacity c becomes a pair of opposed arcs of
+// capacity c (the standard undirected reduction). Used to compute
+// λ(s,t) = min s-t cut, which Definition 5.2's λ·k-samples and the
+// lower-bound experiments need.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sor {
+
+struct MaxFlowResult {
+  /// Max-flow value == min-cut capacity.
+  double value = 0;
+  /// side[v] is true iff v is reachable from s in the residual network
+  /// (the s-side of a minimum cut).
+  std::vector<bool> source_side;
+  /// Net flow per undirected edge, signed positive in the u→v direction.
+  std::vector<double> edge_flow;
+};
+
+/// Max s-t flow (s != t). O(m · sqrt(m)-ish) in practice on our instances.
+MaxFlowResult max_flow(const Graph& g, Vertex s, Vertex t);
+
+/// Min s-t cut capacity λ(s,t). With unit capacities this is the paper's λ.
+double min_cut_value(const Graph& g, Vertex s, Vertex t);
+
+/// λ(s,t) clamped to an integer in [1, cap]; used for λ·k sampling where
+/// only small λ matter. Computes a capped max-flow, so it is fast even on
+/// high-connectivity graphs.
+std::uint32_t min_cut_at_most(const Graph& g, Vertex s, Vertex t,
+                              std::uint32_t cap);
+
+}  // namespace sor

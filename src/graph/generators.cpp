@@ -1,0 +1,368 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace sor {
+
+Graph make_hypercube(std::uint32_t dimension) {
+  SOR_CHECK_MSG(dimension >= 1 && dimension <= 24,
+                "hypercube dimension out of range");
+  const std::uint32_t n = 1u << dimension;
+  Graph g(n);
+  for (Vertex v = 0; v < n; ++v) {
+    for (std::uint32_t b = 0; b < dimension; ++b) {
+      const Vertex u = v ^ (1u << b);
+      if (v < u) g.add_edge(v, u);
+    }
+  }
+  return g;
+}
+
+Graph make_grid(std::uint32_t rows, std::uint32_t cols) {
+  SOR_CHECK(rows >= 1 && cols >= 1 && rows * cols >= 2);
+  Graph g(static_cast<std::size_t>(rows) * cols);
+  auto id = [cols](std::uint32_t r, std::uint32_t c) { return r * cols + c; };
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph make_torus(std::uint32_t rows, std::uint32_t cols) {
+  SOR_CHECK_MSG(rows >= 3 && cols >= 3, "torus needs rows, cols >= 3");
+  Graph g(static_cast<std::size_t>(rows) * cols);
+  auto id = [cols](std::uint32_t r, std::uint32_t c) { return r * cols + c; };
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      g.add_edge(id(r, c), id(r, (c + 1) % cols));
+      g.add_edge(id(r, c), id((r + 1) % rows, c));
+    }
+  }
+  return g;
+}
+
+Graph make_complete(std::uint32_t n) {
+  SOR_CHECK(n >= 2);
+  Graph g(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph make_ring(std::uint32_t n) {
+  SOR_CHECK_MSG(n >= 3, "ring needs n >= 3");
+  Graph g(n);
+  for (Vertex v = 0; v < n; ++v) g.add_edge(v, (v + 1) % n);
+  return g;
+}
+
+Graph make_binary_tree(std::uint32_t levels) {
+  SOR_CHECK(levels >= 1 && levels <= 24);
+  const std::uint32_t n = (1u << levels) - 1;
+  Graph g(n);
+  for (Vertex v = 1; v < n; ++v) g.add_edge(v, (v - 1) / 2);
+  return g;
+}
+
+Graph make_random_geometric(std::uint32_t n, double radius,
+                            std::uint64_t seed) {
+  SOR_CHECK(n >= 2);
+  SOR_CHECK(radius > 0);
+  Rng rng(seed);
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    std::vector<double> x(n), y(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      x[i] = rng.next_double();
+      y[i] = rng.next_double();
+    }
+    Graph g(n);
+    const double r2 = radius * radius;
+    for (Vertex u = 0; u < n; ++u) {
+      for (Vertex v = u + 1; v < n; ++v) {
+        const double dx = x[u] - x[v];
+        const double dy = y[u] - y[v];
+        if (dx * dx + dy * dy <= r2) g.add_edge(u, v);
+      }
+    }
+    if (g.num_edges() > 0 && g.is_connected()) return g;
+  }
+  throw CheckError(
+      "make_random_geometric: no connected sample in 100 attempts; raise "
+      "the radius");
+}
+
+Graph make_random_regular(std::uint32_t n, std::uint32_t degree,
+                          std::uint64_t seed) {
+  SOR_CHECK_MSG(n >= 4 && degree >= 2,
+                "random regular graph needs n >= 4, degree >= 2");
+  SOR_CHECK_MSG((static_cast<std::uint64_t>(n) * degree) % 2 == 0,
+                "n * degree must be even");
+  Rng rng(seed);
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    // Configuration model: shuffle n*degree stubs and pair them up;
+    // re-draw on self-loop. Parallel edges are allowed (the library's
+    // graphs are multigraphs), matching the paper's capacity convention.
+    std::vector<Vertex> stubs;
+    stubs.reserve(static_cast<std::size_t>(n) * degree);
+    for (Vertex v = 0; v < n; ++v) {
+      for (std::uint32_t i = 0; i < degree; ++i) stubs.push_back(v);
+    }
+    rng.shuffle(stubs);
+    Graph g(n);
+    bool ok = true;
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      if (stubs[i] == stubs[i + 1]) {
+        ok = false;  // self-loop: reject this pairing and redraw
+        break;
+      }
+      g.add_edge(stubs[i], stubs[i + 1]);
+    }
+    if (ok && g.is_connected()) return g;
+  }
+  throw CheckError("make_random_regular failed to produce a connected graph");
+}
+
+Graph make_erdos_renyi(std::uint32_t n, double p, std::uint64_t seed) {
+  SOR_CHECK(n >= 2);
+  SOR_CHECK(p > 0 && p <= 1);
+  Rng rng(seed);
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    Graph g(n);
+    for (Vertex u = 0; u < n; ++u) {
+      for (Vertex v = u + 1; v < n; ++v) {
+        if (rng.next_bool(p)) g.add_edge(u, v);
+      }
+    }
+    if (g.num_edges() > 0 && g.is_connected()) return g;
+  }
+  throw CheckError(
+      "make_erdos_renyi: no connected sample in 100 attempts; raise p");
+}
+
+Graph make_fat_tree(std::uint32_t k) {
+  SOR_CHECK_MSG(k >= 2 && k % 2 == 0, "fat-tree parameter k must be even");
+  const std::uint32_t half = k / 2;
+  const std::uint32_t num_core = half * half;
+  const std::uint32_t per_pod = half;  // agg and edge switches per pod
+  // Layout: [0, num_core) core; then per pod: half agg then half edge.
+  Graph g(num_core + k * per_pod * 2);
+  auto agg_id = [&](std::uint32_t pod, std::uint32_t i) {
+    return num_core + pod * per_pod * 2 + i;
+  };
+  auto edge_id = [&](std::uint32_t pod, std::uint32_t i) {
+    return num_core + pod * per_pod * 2 + per_pod + i;
+  };
+  for (std::uint32_t pod = 0; pod < k; ++pod) {
+    for (std::uint32_t a = 0; a < per_pod; ++a) {
+      // Each aggregation switch connects to `half` core switches.
+      for (std::uint32_t c = 0; c < half; ++c) {
+        g.add_edge(agg_id(pod, a), a * half + c);
+      }
+      // Full bipartite agg↔edge inside the pod.
+      for (std::uint32_t e = 0; e < per_pod; ++e) {
+        g.add_edge(agg_id(pod, a), edge_id(pod, e));
+      }
+    }
+  }
+  return g;
+}
+
+std::vector<Vertex> fat_tree_edge_switches(std::uint32_t k) {
+  SOR_CHECK(k >= 2 && k % 2 == 0);
+  const std::uint32_t half = k / 2;
+  const std::uint32_t num_core = half * half;
+  std::vector<Vertex> out;
+  for (std::uint32_t pod = 0; pod < k; ++pod) {
+    for (std::uint32_t e = 0; e < half; ++e) {
+      out.push_back(num_core + pod * half * 2 + half + e);
+    }
+  }
+  return out;
+}
+
+Graph make_path_of_cliques(std::uint32_t num_cliques,
+                           std::uint32_t clique_size) {
+  SOR_CHECK(num_cliques >= 1 && clique_size >= 2);
+  const std::uint32_t n = num_cliques * clique_size;
+  Graph g(n);
+  for (std::uint32_t c = 0; c < num_cliques; ++c) {
+    const Vertex base = c * clique_size;
+    for (Vertex u = 0; u < clique_size; ++u) {
+      for (Vertex v = u + 1; v < clique_size; ++v) {
+        g.add_edge(base + u, base + v);
+      }
+    }
+    if (c + 1 < num_cliques) {
+      // Bridge: last vertex of this clique to first vertex of the next.
+      g.add_edge(base + clique_size - 1, base + clique_size);
+    }
+  }
+  return g;
+}
+
+Graph make_dumbbell(std::uint32_t clique_size, std::uint32_t bridges) {
+  SOR_CHECK(clique_size >= 2 && bridges >= 1);
+  Graph g(2u * clique_size);
+  for (std::uint32_t side = 0; side < 2; ++side) {
+    const Vertex base = side * clique_size;
+    for (Vertex u = 0; u < clique_size; ++u) {
+      for (Vertex v = u + 1; v < clique_size; ++v) {
+        g.add_edge(base + u, base + v);
+      }
+    }
+  }
+  // Portals are vertex 0 (left) and vertex clique_size (right); parallel
+  // bridge edges model a capacity-`bridges` cut.
+  for (std::uint32_t b = 0; b < bridges; ++b) g.add_edge(0, clique_size);
+  return g;
+}
+
+TwoStarGraph make_two_star(std::uint32_t leaves, std::uint32_t middles) {
+  SOR_CHECK(leaves >= 1 && middles >= 1);
+  TwoStarGraph out{Graph(2u + 2u * leaves + middles),
+                   /*center_left=*/0,
+                   /*center_right=*/1,
+                   {},
+                   {},
+                   {}};
+  Vertex next = 2;
+  for (std::uint32_t i = 0; i < leaves; ++i) {
+    out.left_leaves.push_back(next);
+    out.graph.add_edge(out.center_left, next);
+    ++next;
+  }
+  for (std::uint32_t i = 0; i < leaves; ++i) {
+    out.right_leaves.push_back(next);
+    out.graph.add_edge(out.center_right, next);
+    ++next;
+  }
+  for (std::uint32_t i = 0; i < middles; ++i) {
+    out.middles.push_back(next);
+    out.graph.add_edge(out.center_left, next);
+    out.graph.add_edge(out.center_right, next);
+    ++next;
+  }
+  return out;
+}
+
+WanTopology make_abilene() {
+  // Internet2 Abilene backbone (2004): 11 PoPs, 14 OC-192 links.
+  // Capacities are relative (10 = OC-192-class trunk).
+  WanTopology t{"abilene",
+                Graph(11),
+                {"Seattle", "Sunnyvale", "LosAngeles", "Denver", "KansasCity",
+                 "Houston", "Chicago", "Indianapolis", "Atlanta", "WashDC",
+                 "NewYork"}};
+  auto add = [&t](Vertex u, Vertex v, double cap) {
+    t.graph.add_edge(u, v, cap);
+  };
+  add(0, 1, 10);   // Seattle–Sunnyvale
+  add(0, 3, 10);   // Seattle–Denver
+  add(1, 2, 10);   // Sunnyvale–LosAngeles
+  add(1, 3, 10);   // Sunnyvale–Denver
+  add(2, 5, 10);   // LosAngeles–Houston
+  add(3, 4, 10);   // Denver–KansasCity
+  add(4, 5, 10);   // KansasCity–Houston
+  add(4, 6, 10);   // KansasCity–Chicago
+  add(5, 8, 10);   // Houston–Atlanta
+  add(6, 7, 10);   // Chicago–Indianapolis
+  add(6, 10, 10);  // Chicago–NewYork
+  add(7, 8, 10);   // Indianapolis–Atlanta
+  add(8, 9, 10);   // Atlanta–WashDC
+  add(9, 10, 10);  // WashDC–NewYork
+  return t;
+}
+
+WanTopology make_b4() {
+  // A B4-like inter-datacenter WAN (12 sites, 19 links), in the style of
+  // the topology published in the B4 SIGCOMM'13 paper. Capacities are
+  // relative link bundle sizes.
+  WanTopology t{"b4",
+                Graph(12),
+                {"US-W1", "US-W2", "US-W3", "US-C1", "US-C2", "US-E1",
+                 "US-E2", "EU-1", "EU-2", "ASIA-1", "ASIA-2", "ASIA-3"}};
+  auto add = [&t](Vertex u, Vertex v, double cap) {
+    t.graph.add_edge(u, v, cap);
+  };
+  add(0, 1, 8);
+  add(0, 2, 8);
+  add(1, 2, 8);
+  add(1, 3, 6);
+  add(2, 3, 6);
+  add(2, 9, 4);   // transpacific
+  add(0, 9, 4);   // transpacific
+  add(3, 4, 8);
+  add(3, 5, 6);
+  add(4, 5, 8);
+  add(4, 6, 8);
+  add(5, 6, 8);
+  add(5, 7, 4);   // transatlantic
+  add(6, 7, 4);   // transatlantic
+  add(6, 8, 4);   // transatlantic
+  add(7, 8, 8);
+  add(9, 10, 6);
+  add(10, 11, 6);
+  add(9, 11, 6);
+  return t;
+}
+
+WanTopology make_geant() {
+  // GEANT-like 22-PoP European research backbone; link capacities are
+  // relative trunk classes (10 = fastest).
+  WanTopology t{"geant",
+                Graph(22),
+                {"London",  "Paris",   "Amsterdam", "Frankfurt", "Geneva",
+                 "Milan",   "Vienna",  "Prague",    "Budapest",  "Warsaw",
+                 "Copenhagen", "Stockholm", "Madrid", "Lisbon",  "Dublin",
+                 "Brussels", "Zurich", "Rome",      "Athens",    "Bucharest",
+                 "Zagreb",  "Bratislava"}};
+  auto add = [&t](Vertex u, Vertex v, double cap) {
+    t.graph.add_edge(u, v, cap);
+  };
+  add(0, 1, 10);   // London–Paris
+  add(0, 2, 10);   // London–Amsterdam
+  add(0, 14, 4);   // London–Dublin
+  add(0, 15, 6);   // London–Brussels
+  add(1, 3, 10);   // Paris–Frankfurt
+  add(1, 4, 6);    // Paris–Geneva
+  add(1, 12, 6);   // Paris–Madrid
+  add(2, 3, 10);   // Amsterdam–Frankfurt
+  add(2, 10, 6);   // Amsterdam–Copenhagen
+  add(2, 15, 6);   // Amsterdam–Brussels
+  add(3, 4, 6);    // Frankfurt–Geneva
+  add(3, 6, 10);   // Frankfurt–Vienna
+  add(3, 7, 6);    // Frankfurt–Prague
+  add(3, 9, 6);    // Frankfurt–Warsaw
+  add(3, 10, 6);   // Frankfurt–Copenhagen
+  add(3, 16, 6);   // Frankfurt–Zurich
+  add(4, 5, 6);    // Geneva–Milan
+  add(4, 16, 6);   // Geneva–Zurich
+  add(5, 16, 4);   // Milan–Zurich
+  add(5, 17, 6);   // Milan–Rome
+  add(5, 6, 4);    // Milan–Vienna
+  add(6, 7, 4);    // Vienna–Prague
+  add(6, 8, 6);    // Vienna–Budapest
+  add(6, 20, 4);   // Vienna–Zagreb
+  add(6, 21, 4);   // Vienna–Bratislava
+  add(7, 9, 4);    // Prague–Warsaw
+  add(8, 19, 4);   // Budapest–Bucharest
+  add(8, 20, 4);   // Budapest–Zagreb
+  add(8, 21, 4);   // Budapest–Bratislava
+  add(9, 11, 4);   // Warsaw–Stockholm
+  add(10, 11, 6);  // Copenhagen–Stockholm
+  add(12, 13, 4);  // Madrid–Lisbon
+  add(13, 0, 4);   // Lisbon–London (submarine)
+  add(17, 18, 4);  // Rome–Athens
+  add(18, 19, 4);  // Athens–Bucharest
+  add(14, 15, 4);  // Dublin–Brussels (via submarine)
+  return t;
+}
+
+}  // namespace sor

@@ -1,0 +1,105 @@
+#pragma once
+
+// Topology generators: the benchmark families used across the experiments.
+//
+// All generators produce connected graphs (randomized ones repair
+// connectivity deterministically from the provided seed and document how).
+// Capacities default to 1 everywhere except the WAN topologies, which carry
+// realistic relative capacities.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sor {
+
+/// d-dimensional hypercube: 2^d vertices; u ~ v iff they differ in one bit.
+Graph make_hypercube(std::uint32_t dimension);
+
+/// rows × cols grid (4-neighbour).
+Graph make_grid(std::uint32_t rows, std::uint32_t cols);
+
+/// rows × cols torus (grid with wraparound). Requires rows, cols >= 3 to
+/// avoid parallel wrap edges.
+Graph make_torus(std::uint32_t rows, std::uint32_t cols);
+
+/// Complete graph K_n.
+Graph make_complete(std::uint32_t n);
+
+/// Cycle C_n (n >= 3).
+Graph make_ring(std::uint32_t n);
+
+/// Complete balanced binary tree with `levels` levels (2^levels − 1
+/// vertices) — a hierarchical/deep topology where root links are the
+/// natural bottleneck.
+Graph make_binary_tree(std::uint32_t levels);
+
+/// Random geometric graph: n points uniform in the unit square, edges
+/// between pairs within distance `radius`; retried (deterministically)
+/// until connected. Models sparse WAN-like geography.
+Graph make_random_geometric(std::uint32_t n, double radius,
+                            std::uint64_t seed);
+
+/// Random d-regular multigraph via the configuration model, with
+/// self-loops re-drawn. For d >= 3 this is an expander with high
+/// probability; the generator retries (deterministically) until connected.
+Graph make_random_regular(std::uint32_t n, std::uint32_t degree,
+                          std::uint64_t seed);
+
+/// Erdős–Rényi G(n, p), retried (deterministically from seed) until
+/// connected; throws after 100 failed attempts, so choose p above the
+/// connectivity threshold.
+Graph make_erdos_renyi(std::uint32_t n, double p, std::uint64_t seed);
+
+/// Three-level k-ary fat-tree switch fabric (k even): k^2/4 core switches,
+/// k pods of k/2 aggregation + k/2 edge switches. Core↔agg and agg↔edge
+/// links only; traffic is routed between edge switches.
+Graph make_fat_tree(std::uint32_t k);
+
+/// The fat-tree's edge-switch ids (the "hosts-facing" routing endpoints).
+std::vector<Vertex> fat_tree_edge_switches(std::uint32_t k);
+
+/// `num_cliques` cliques of size `clique_size` in a row, consecutive
+/// cliques joined by a single bridge edge. Deep graph used by the
+/// completion-time experiments (congestion-optimal routing detours badly).
+Graph make_path_of_cliques(std::uint32_t num_cliques,
+                           std::uint32_t clique_size);
+
+/// Two K_q cliques joined by `bridges` parallel unit edges between
+/// distinguished portal vertices 0 and q (the §2.1 example motivating
+/// λ(s,t)·k sampling).
+Graph make_dumbbell(std::uint32_t clique_size, std::uint32_t bridges);
+
+/// The §8 lower-bound gadget: two stars of `leaves` leaves with centers
+/// c1, c2, plus `middles` vertices adjacent to both centers.
+struct TwoStarGraph {
+  Graph graph;
+  Vertex center_left;
+  Vertex center_right;
+  std::vector<Vertex> left_leaves;
+  std::vector<Vertex> right_leaves;
+  std::vector<Vertex> middles;
+};
+TwoStarGraph make_two_star(std::uint32_t leaves, std::uint32_t middles);
+
+/// A named WAN topology with realistic relative capacities.
+struct WanTopology {
+  std::string name;
+  Graph graph;
+  std::vector<std::string> node_names;
+};
+
+/// Abilene (Internet2), 11 PoPs / 14 links.
+WanTopology make_abilene();
+
+/// A B4-like inter-datacenter WAN: 12 sites / 19 links.
+WanTopology make_b4();
+
+/// A GEANT-like pan-European research WAN: 22 PoPs / 36 links with mixed
+/// trunk capacities — the larger topology where KSP-style TE starts to
+/// trail path-diverse sampling (E6/E8).
+WanTopology make_geant();
+
+}  // namespace sor

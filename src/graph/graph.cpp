@@ -1,0 +1,56 @@
+#include "graph/graph.hpp"
+
+#include <sstream>
+#include <vector>
+
+namespace sor {
+
+Graph::Graph(std::size_t num_vertices) : adjacency_(num_vertices) {
+  SOR_CHECK_MSG(num_vertices >= 1, "graph must have at least one vertex");
+  SOR_CHECK(num_vertices < static_cast<std::size_t>(kInvalidVertex));
+}
+
+EdgeId Graph::add_edge(Vertex u, Vertex v, double capacity) {
+  SOR_CHECK_MSG(u < num_vertices() && v < num_vertices(),
+                "edge endpoint out of range: " << u << "," << v);
+  SOR_CHECK_MSG(u != v, "self-loops are not supported");
+  SOR_CHECK_MSG(capacity > 0, "edge capacity must be positive");
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{u, v, capacity});
+  adjacency_[u].push_back(HalfEdge{v, id});
+  adjacency_[v].push_back(HalfEdge{u, id});
+  return id;
+}
+
+double Graph::incident_capacity(Vertex v) const {
+  double total = 0;
+  for (const HalfEdge& h : neighbors(v)) total += edge(h.id).capacity;
+  return total;
+}
+
+bool Graph::is_connected() const {
+  std::vector<bool> seen(num_vertices(), false);
+  std::vector<Vertex> stack{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const Vertex v = stack.back();
+    stack.pop_back();
+    for (const HalfEdge& h : neighbors(v)) {
+      if (!seen[h.to]) {
+        seen[h.to] = true;
+        ++visited;
+        stack.push_back(h.to);
+      }
+    }
+  }
+  return visited == num_vertices();
+}
+
+std::string Graph::summary() const {
+  std::ostringstream os;
+  os << "n=" << num_vertices() << " m=" << num_edges();
+  return os.str();
+}
+
+}  // namespace sor

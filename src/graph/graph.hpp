@@ -1,0 +1,89 @@
+#pragma once
+
+// Undirected multigraph with edge capacities.
+//
+// This is the substrate type for the whole library. Following the paper's
+// convention, capacities can equivalently be modelled as parallel edges; we
+// support both (real-valued capacity per edge, and any number of parallel
+// edges). Vertices are dense integer ids [0, n); edges are dense integer
+// ids [0, m) in insertion order, which the semi-oblivious "weak routing"
+// process uses as its fixed edge ordering.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace sor {
+
+using Vertex = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr Vertex kInvalidVertex = static_cast<Vertex>(-1);
+inline constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+
+/// One undirected edge. `u <= v` is not required; endpoints are stored as
+/// given.
+struct Edge {
+  Vertex u;
+  Vertex v;
+  double capacity;
+};
+
+/// Adjacency entry: the neighbour reached and the id of the edge used.
+struct HalfEdge {
+  Vertex to;
+  EdgeId id;
+};
+
+class Graph {
+ public:
+  /// Creates a graph with `num_vertices` vertices and no edges.
+  explicit Graph(std::size_t num_vertices);
+
+  /// Adds an undirected edge; returns its id. Self-loops are rejected
+  /// (they are never useful for routing). Parallel edges are allowed.
+  EdgeId add_edge(Vertex u, Vertex v, double capacity = 1.0);
+
+  std::size_t num_vertices() const { return adjacency_.size(); }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  const Edge& edge(EdgeId e) const {
+    SOR_DCHECK(e < edges_.size());
+    return edges_[e];
+  }
+
+  /// The endpoint of `e` that is not `from`. `from` must be an endpoint.
+  Vertex other_endpoint(EdgeId e, Vertex from) const {
+    const Edge& ed = edge(e);
+    SOR_DCHECK(ed.u == from || ed.v == from);
+    return ed.u == from ? ed.v : ed.u;
+  }
+
+  std::span<const HalfEdge> neighbors(Vertex v) const {
+    SOR_DCHECK(v < adjacency_.size());
+    return adjacency_[v];
+  }
+
+  /// Number of incident edge endpoints (parallel edges counted).
+  std::size_t degree(Vertex v) const { return neighbors(v).size(); }
+
+  std::span<const Edge> edges() const { return edges_; }
+
+  /// Sum of capacities of edges incident to v.
+  double incident_capacity(Vertex v) const;
+
+  /// True if every vertex can reach every other (ignores capacities).
+  bool is_connected() const;
+
+  /// Human-readable one-line summary ("n=64 m=192").
+  std::string summary() const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<HalfEdge>> adjacency_;
+};
+
+}  // namespace sor

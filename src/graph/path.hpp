@@ -1,0 +1,61 @@
+#pragma once
+
+// Paths through a Graph.
+//
+// A Path records its endpoints and the sequence of edge ids traversed from
+// src to dst. Edge ids (rather than vertex sequences) are authoritative
+// because the graph may contain parallel edges and congestion is charged
+// per edge. An empty edge sequence with src == dst is the trivial path.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sor {
+
+struct Path {
+  Vertex src = kInvalidVertex;
+  Vertex dst = kInvalidVertex;
+  std::vector<EdgeId> edges;
+
+  std::size_t hops() const { return edges.size(); }
+
+  friend bool operator==(const Path& a, const Path& b) = default;
+};
+
+/// True iff `p.edges` is a consecutive src→dst walk in `g` visiting no
+/// vertex twice (i.e. a simple path).
+bool is_simple_path(const Graph& g, const Path& p);
+
+/// True iff `p.edges` is a consecutive src→dst walk (vertices may repeat).
+bool is_walk(const Graph& g, const Path& p);
+
+/// The vertex sequence visited (src first, dst last; hops()+1 entries).
+/// Requires a valid walk.
+std::vector<Vertex> path_vertices(const Graph& g, const Path& p);
+
+/// Builds a path from a vertex sequence, choosing for each consecutive pair
+/// the first edge between them (by id). Throws if some pair is not adjacent.
+Path path_from_vertices(const Graph& g, std::span<const Vertex> vertices);
+
+/// Concatenates two walks (a.dst must equal b.src).
+Path concatenate(const Path& a, const Path& b);
+
+/// Removes loops from a walk, producing a simple path with the same
+/// endpoints. Deterministic: keeps the first occurrence of each vertex and
+/// splices out the cycle whenever a vertex repeats. Never lengthens the
+/// walk, so congestion/dilation of a routing can only improve.
+Path simplify_walk(const Graph& g, const Path& p);
+
+/// Sum of 1/capacity over edges — a convenient canonical length.
+double path_cost(const Graph& g, const Path& p,
+                 std::span<const double> edge_lengths);
+
+/// FNV-1a hash of (src, dst, edges); for dedup in path systems.
+struct PathHash {
+  std::size_t operator()(const Path& p) const;
+};
+
+}  // namespace sor

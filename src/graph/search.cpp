@@ -1,0 +1,129 @@
+#include "graph/search.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+namespace sor {
+
+Path SpTree::extract_path(const Graph& g, Vertex t) const {
+  SOR_CHECK(t < g.num_vertices());
+  SOR_CHECK_MSG(parent_edge[t] != kInvalidEdge || t == source,
+                "vertex " << t << " unreachable from " << source);
+  Path p;
+  p.src = source;
+  p.dst = t;
+  Vertex at = t;
+  while (at != source) {
+    const EdgeId e = parent_edge[at];
+    p.edges.push_back(e);
+    at = g.other_endpoint(e, at);
+  }
+  std::reverse(p.edges.begin(), p.edges.end());
+  return p;
+}
+
+SpTree bfs(const Graph& g, Vertex source) {
+  SOR_CHECK(source < g.num_vertices());
+  SpTree tree;
+  tree.source = source;
+  tree.hops.assign(g.num_vertices(), kUnreachableHops);
+  tree.dist.assign(g.num_vertices(), kUnreachableDist);
+  tree.parent_edge.assign(g.num_vertices(), kInvalidEdge);
+
+  std::deque<Vertex> queue{source};
+  tree.hops[source] = 0;
+  tree.dist[source] = 0;
+  while (!queue.empty()) {
+    const Vertex v = queue.front();
+    queue.pop_front();
+    for (const HalfEdge& h : g.neighbors(v)) {
+      if (tree.hops[h.to] == kUnreachableHops) {
+        tree.hops[h.to] = tree.hops[v] + 1;
+        tree.dist[h.to] = tree.hops[h.to];
+        tree.parent_edge[h.to] = h.id;
+        queue.push_back(h.to);
+      }
+    }
+  }
+  return tree;
+}
+
+SpTree dijkstra(const Graph& g, Vertex source,
+                std::span<const double> edge_lengths) {
+  SOR_CHECK(source < g.num_vertices());
+  SOR_CHECK(edge_lengths.size() == g.num_edges());
+
+  SpTree tree;
+  tree.source = source;
+  tree.hops.assign(g.num_vertices(), kUnreachableHops);
+  tree.dist.assign(g.num_vertices(), kUnreachableDist);
+  tree.parent_edge.assign(g.num_vertices(), kInvalidEdge);
+
+  // (distance, tie-break edge id, vertex); tie-break keeps paths
+  // deterministic across runs.
+  using Entry = std::tuple<double, EdgeId, Vertex>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  tree.dist[source] = 0;
+  heap.emplace(0.0, kInvalidEdge, source);
+
+  std::vector<bool> settled(g.num_vertices(), false);
+  while (!heap.empty()) {
+    const auto [d, via, v] = heap.top();
+    heap.pop();
+    if (settled[v]) continue;
+    settled[v] = true;
+    tree.parent_edge[v] = via;
+    std::uint32_t via_hops = 0;
+    if (v != source) {
+      via_hops = tree.hops[g.other_endpoint(via, v)] + 1;
+    }
+    tree.hops[v] = via_hops;
+    for (const HalfEdge& h : g.neighbors(v)) {
+      const double len = edge_lengths[h.id];
+      SOR_DCHECK(len >= 0);
+      const double nd = d + len;
+      if (nd < tree.dist[h.to]) {
+        tree.dist[h.to] = nd;
+        heap.emplace(nd, h.id, h.to);
+      }
+    }
+  }
+  return tree;
+}
+
+Path shortest_path_hops(const Graph& g, Vertex s, Vertex t) {
+  return bfs(g, s).extract_path(g, t);
+}
+
+Path shortest_path(const Graph& g, Vertex s, Vertex t,
+                   std::span<const double> edge_lengths) {
+  return dijkstra(g, s, edge_lengths).extract_path(g, t);
+}
+
+std::vector<Vertex> hop_ball(const Graph& g, Vertex center,
+                             std::uint32_t radius) {
+  const SpTree tree = bfs(g, center);
+  std::vector<Vertex> ball;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (tree.hops[v] != kUnreachableHops && tree.hops[v] <= radius) {
+      ball.push_back(v);
+    }
+  }
+  return ball;
+}
+
+std::uint32_t hop_diameter(const Graph& g) {
+  std::uint32_t diameter = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const SpTree tree = bfs(g, v);
+    for (Vertex u = 0; u < g.num_vertices(); ++u) {
+      SOR_CHECK_MSG(tree.hops[u] != kUnreachableHops,
+                    "hop_diameter requires a connected graph");
+      diameter = std::max(diameter, tree.hops[u]);
+    }
+  }
+  return diameter;
+}
+
+}  // namespace sor

@@ -1,0 +1,60 @@
+#pragma once
+
+// Shortest-path primitives: BFS (hop metric) and Dijkstra (edge lengths).
+//
+// Both return a shortest-path tree (parent edge per vertex) from which
+// paths are extracted. Ties are broken deterministically by edge id, so
+// repeated runs and different platforms produce identical paths.
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/path.hpp"
+
+namespace sor {
+
+inline constexpr std::uint32_t kUnreachableHops =
+    std::numeric_limits<std::uint32_t>::max();
+inline constexpr double kUnreachableDist =
+    std::numeric_limits<double>::infinity();
+
+/// Shortest-path tree rooted at `source`.
+struct SpTree {
+  Vertex source = kInvalidVertex;
+  /// Hop count (BFS) — filled by bfs(); kUnreachableHops if unreachable.
+  std::vector<std::uint32_t> hops;
+  /// Weighted distance — filled by dijkstra(); kUnreachableDist if
+  /// unreachable. bfs() fills it with the hop count as a double.
+  std::vector<double> dist;
+  /// Edge taken into each vertex (kInvalidEdge at the source/unreachable).
+  std::vector<EdgeId> parent_edge;
+
+  /// Extracts the tree path source→t. t must be reachable.
+  Path extract_path(const Graph& g, Vertex t) const;
+};
+
+/// Breadth-first search from `source` over unit-length edges.
+SpTree bfs(const Graph& g, Vertex source);
+
+/// Dijkstra from `source` with nonnegative per-edge lengths
+/// (edge_lengths.size() == num_edges()).
+SpTree dijkstra(const Graph& g, Vertex source,
+                std::span<const double> edge_lengths);
+
+/// Convenience: a shortest s→t path by hops (BFS).
+Path shortest_path_hops(const Graph& g, Vertex s, Vertex t);
+
+/// Convenience: a shortest s→t path under `edge_lengths`.
+Path shortest_path(const Graph& g, Vertex s, Vertex t,
+                   std::span<const double> edge_lengths);
+
+/// Vertices within `radius` hops of `center` (including the center).
+std::vector<Vertex> hop_ball(const Graph& g, Vertex center,
+                             std::uint32_t radius);
+
+/// Maximum over vertices of eccentricity in hops. O(n·m); for small graphs.
+std::uint32_t hop_diameter(const Graph& g);
+
+}  // namespace sor

@@ -1,0 +1,118 @@
+#include "la/cg.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace sor {
+
+LaplacianOperator::LaplacianOperator(const Graph& g) : graph_(&g) {
+  weighted_degree_.assign(g.num_vertices(), 0.0);
+  for (const Edge& e : g.edges()) {
+    weighted_degree_[e.u] += e.capacity;
+    weighted_degree_[e.v] += e.capacity;
+  }
+}
+
+void LaplacianOperator::apply(std::span<const double> x,
+                              std::vector<double>& y) const {
+  SOR_CHECK(x.size() == dimension());
+  y.assign(dimension(), 0.0);
+  for (Vertex v = 0; v < dimension(); ++v) {
+    y[v] = weighted_degree_[v] * x[v];
+  }
+  for (const Edge& e : graph_->edges()) {
+    y[e.u] -= e.capacity * x[e.v];
+    y[e.v] -= e.capacity * x[e.u];
+  }
+}
+
+namespace {
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  double sum = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+void center(std::vector<double>& x) {
+  const double mean =
+      std::accumulate(x.begin(), x.end(), 0.0) / static_cast<double>(x.size());
+  for (double& v : x) v -= mean;
+}
+
+}  // namespace
+
+CgResult solve_laplacian(const LaplacianOperator& op,
+                         std::span<const double> b,
+                         const CgOptions& options) {
+  const std::size_t n = op.dimension();
+  SOR_CHECK(b.size() == n);
+  {
+    double sum = 0;
+    for (double v : b) sum += v;
+    SOR_CHECK_MSG(std::abs(sum) < 1e-6 * (1.0 + std::abs(b[0])),
+                  "Laplacian rhs must have zero sum");
+  }
+  const double b_norm = std::sqrt(dot(b, b));
+  CgResult result;
+  result.x.assign(n, 0.0);
+  if (b_norm == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  const std::size_t max_iterations =
+      options.max_iterations > 0 ? options.max_iterations : 10 * n + 100;
+
+  std::vector<double> r(b.begin(), b.end());
+  std::vector<double> p = r;
+  std::vector<double> ap;
+  double rs = dot(r, r);
+
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    op.apply(p, ap);
+    const double denominator = dot(p, ap);
+    if (denominator <= 0) break;  // numerical breakdown (kernel direction)
+    const double alpha = rs / denominator;
+    for (std::size_t i = 0; i < n; ++i) {
+      result.x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    const double rs_next = dot(r, r);
+    result.iterations = iter + 1;
+    if (std::sqrt(rs_next) <= options.tolerance * b_norm) {
+      result.converged = true;
+      break;
+    }
+    const double beta = rs_next / rs;
+    for (std::size_t i = 0; i < n; ++i) {
+      p[i] = r[i] + beta * p[i];
+    }
+    rs = rs_next;
+  }
+
+  center(result.x);
+  result.relative_residual = std::sqrt(dot(r, r)) / b_norm;
+  return result;
+}
+
+std::vector<double> electrical_flow(const Graph& g, Vertex s, Vertex t,
+                                    const CgOptions& options) {
+  SOR_CHECK(s < g.num_vertices() && t < g.num_vertices() && s != t);
+  const LaplacianOperator op(g);
+  std::vector<double> b(g.num_vertices(), 0.0);
+  b[s] = 1.0;
+  b[t] = -1.0;
+  const CgResult sol = solve_laplacian(op, b, options);
+  SOR_CHECK_MSG(sol.converged || sol.relative_residual < 1e-4,
+                "electrical flow CG failed to converge (residual "
+                    << sol.relative_residual << ")");
+  std::vector<double> flow(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edge(e);
+    flow[e] = edge.capacity * (sol.x[edge.u] - sol.x[edge.v]);
+  }
+  return flow;
+}
+
+}  // namespace sor

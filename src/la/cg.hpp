@@ -1,0 +1,61 @@
+#pragma once
+
+// Conjugate-gradient solver for graph Laplacian systems.
+//
+// Substrate for the electrical-flow oblivious routing (an E8 ablation
+// source and a classic scheme from the oblivious-routing literature): the
+// potentials of a unit s→t electrical flow solve L·φ = χ_s − χ_t, where L
+// is the weighted Laplacian with conductances = edge capacities.
+//
+// L is symmetric positive semidefinite with kernel span{1} on connected
+// graphs; CG converges on the orthogonal complement as long as the right-
+// hand side has zero sum (χ_s − χ_t does). We deflate the mean after each
+// iteration to keep numerical drift out of the kernel.
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sor {
+
+/// Sparse symmetric Laplacian operator y = L·x for a capacity-weighted
+/// graph, applied matrix-free from the adjacency structure.
+class LaplacianOperator {
+ public:
+  explicit LaplacianOperator(const Graph& g);
+
+  std::size_t dimension() const { return graph_->num_vertices(); }
+
+  /// y := L·x (y resized as needed).
+  void apply(std::span<const double> x, std::vector<double>& y) const;
+
+ private:
+  const Graph* graph_;
+  std::vector<double> weighted_degree_;
+};
+
+struct CgOptions {
+  double tolerance = 1e-8;  // relative residual target
+  std::size_t max_iterations = 0;  // 0 = 10·n
+};
+
+struct CgResult {
+  std::vector<double> x;
+  double relative_residual = 0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Solves L·x = b for a zero-sum b; the returned x is mean-centered.
+/// Throws CheckError if b does not sum to ~0.
+CgResult solve_laplacian(const LaplacianOperator& op,
+                         std::span<const double> b,
+                         const CgOptions& options = {});
+
+/// Electrical unit s→t flow: f_e = c_e · (φ_u − φ_v), oriented u→v.
+/// Flow conservation holds up to the CG tolerance.
+std::vector<double> electrical_flow(const Graph& g, Vertex s, Vertex t,
+                                    const CgOptions& options = {});
+
+}  // namespace sor

@@ -1,0 +1,231 @@
+#include "lp/path_lp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "lp/simplex.hpp"
+#include "util/log.hpp"
+
+namespace sor {
+
+void validate_restricted_problem(const RestrictedProblem& problem) {
+  SOR_CHECK(problem.graph != nullptr);
+  [[maybe_unused]] const Graph& g = *problem.graph;
+  for (const RestrictedCommodity& c : problem.commodities) {
+    SOR_CHECK_MSG(c.demand > 0, "restricted commodity with zero demand");
+    SOR_CHECK_MSG(!c.candidates.empty(),
+                  "restricted commodity with no candidate paths");
+    const Vertex s = c.candidates.front().src;
+    const Vertex t = c.candidates.front().dst;
+    for (const Path& p : c.candidates) {
+      SOR_CHECK_MSG(p.src == s && p.dst == t,
+                    "candidate endpoints disagree within a commodity");
+      SOR_DCHECK(is_walk(g, p));
+    }
+  }
+}
+
+namespace {
+
+EdgeLoad load_from_weights(const Graph& g, const RestrictedProblem& problem,
+                           const std::vector<std::vector<double>>& weights) {
+  EdgeLoad load = zero_load(g);
+  for (std::size_t j = 0; j < problem.commodities.size(); ++j) {
+    const auto& c = problem.commodities[j];
+    for (std::size_t p = 0; p < c.candidates.size(); ++p) {
+      if (weights[j][p] > 0) add_path_load(c.candidates[p], weights[j][p], load);
+    }
+  }
+  return load;
+}
+
+}  // namespace
+
+RestrictedSolution solve_restricted_exact(const RestrictedProblem& problem) {
+  validate_restricted_problem(problem);
+  [[maybe_unused]] const Graph& g = *problem.graph;
+
+  // Variable layout: [x_{j,p} in commodity-major order | C].
+  std::size_t num_path_vars = 0;
+  for (const auto& c : problem.commodities) num_path_vars += c.candidates.size();
+  const std::size_t c_var = num_path_vars;
+  const std::size_t num_vars = num_path_vars + 1;
+
+  LpProblem lp;
+  lp.objective.assign(num_vars, 0.0);
+  lp.objective[c_var] = 1.0;
+
+  // Demand-coverage equalities.
+  {
+    std::size_t var = 0;
+    for (const auto& c : problem.commodities) {
+      LpConstraint row;
+      row.coefficients.assign(num_vars, 0.0);
+      for (std::size_t p = 0; p < c.candidates.size(); ++p) {
+        row.coefficients[var + p] = 1.0;
+      }
+      row.sense = ConstraintSense::kEq;
+      row.rhs = c.demand;
+      lp.constraints.push_back(std::move(row));
+      var += c.candidates.size();
+    }
+  }
+
+  // Edge-capacity rows: Σ x over paths through e − c_e·C <= 0.
+  // Only edges actually used by some candidate need a row.
+  {
+    std::vector<std::vector<std::pair<std::size_t, double>>> edge_terms(
+        g.num_edges());
+    std::size_t var = 0;
+    for (const auto& c : problem.commodities) {
+      for (const Path& p : c.candidates) {
+        for (EdgeId e : p.edges) {
+          auto& terms = edge_terms[e];
+          if (!terms.empty() && terms.back().first == var) {
+            terms.back().second += 1.0;  // path visits a parallel edge twice
+          } else {
+            terms.emplace_back(var, 1.0);
+          }
+        }
+        ++var;
+      }
+    }
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (edge_terms[e].empty()) continue;
+      LpConstraint row;
+      row.coefficients.assign(num_vars, 0.0);
+      for (const auto& [v, coeff] : edge_terms[e]) row.coefficients[v] = coeff;
+      row.coefficients[c_var] = -g.edge(e).capacity;
+      row.sense = ConstraintSense::kLe;
+      row.rhs = 0.0;
+      lp.constraints.push_back(std::move(row));
+    }
+  }
+
+  const LpSolution lp_solution = solve_lp(lp);
+  SOR_CHECK_MSG(lp_solution.status == LpStatus::kOptimal,
+                "restricted LP did not solve to optimality (status "
+                    << static_cast<int>(lp_solution.status) << ")");
+
+  RestrictedSolution solution;
+  solution.weights.resize(problem.commodities.size());
+  std::size_t var = 0;
+  for (std::size_t j = 0; j < problem.commodities.size(); ++j) {
+    const auto& c = problem.commodities[j];
+    solution.weights[j].assign(c.candidates.size(), 0.0);
+    for (std::size_t p = 0; p < c.candidates.size(); ++p) {
+      solution.weights[j][p] = std::max(0.0, lp_solution.x[var + p]);
+    }
+    var += c.candidates.size();
+  }
+  solution.load = load_from_weights(g, problem, solution.weights);
+  solution.congestion = max_congestion(g, solution.load);
+  solution.lower_bound = lp_solution.objective_value;
+  return solution;
+}
+
+RestrictedSolution solve_restricted_mwu(const RestrictedProblem& problem,
+                                        const RestrictedMwuOptions& options) {
+  validate_restricted_problem(problem);
+  SOR_CHECK(options.epsilon > 0 && options.epsilon < 1);
+  [[maybe_unused]] const Graph& g = *problem.graph;
+  const double eps = options.epsilon;
+
+  RestrictedSolution solution;
+  solution.weights.resize(problem.commodities.size());
+  for (std::size_t j = 0; j < problem.commodities.size(); ++j) {
+    solution.weights[j].assign(problem.commodities[j].candidates.size(), 0.0);
+  }
+  solution.load = zero_load(g);
+
+  const auto m = static_cast<double>(g.num_edges());
+  const double delta = std::pow(m / (1.0 - eps), -1.0 / eps);
+  std::vector<double> lengths(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    lengths[e] = delta / g.edge(e).capacity;
+  }
+
+  auto path_length = [&](const Path& p) {
+    double len = 0;
+    for (EdgeId e : p.edges) len += lengths[e];
+    return len;
+  };
+
+  double best_lower = 0;
+  std::size_t phase = 0;
+  for (; phase < options.max_phases; ++phase) {
+    for (std::size_t j = 0; j < problem.commodities.size(); ++j) {
+      const auto& c = problem.commodities[j];
+      double remaining = c.demand;
+      while (remaining > 1e-12) {
+        // Cheapest candidate under current lengths.
+        std::size_t best_p = 0;
+        double best_len = std::numeric_limits<double>::infinity();
+        for (std::size_t p = 0; p < c.candidates.size(); ++p) {
+          const double len = path_length(c.candidates[p]);
+          if (len < best_len) {
+            best_len = len;
+            best_p = p;
+          }
+        }
+        const Path& path = c.candidates[best_p];
+        double bottleneck = std::numeric_limits<double>::infinity();
+        for (EdgeId e : path.edges) {
+          bottleneck = std::min(bottleneck, g.edge(e).capacity);
+        }
+        const double send = std::min(remaining, bottleneck);
+        solution.weights[j][best_p] += send;
+        add_path_load(path, send, solution.load);
+        for (EdgeId e : path.edges) {
+          lengths[e] *= 1.0 + eps * send / g.edge(e).capacity;
+        }
+        remaining -= send;
+        if (path.edges.empty()) break;  // degenerate s==t guard
+      }
+    }
+
+    // Duality bound for the restricted problem: any routing with
+    // congestion C satisfies Σ_j d_j·minlen_j <= C · Σ_e c_e·l_e.
+    double numerator = 0;
+    for (const auto& c : problem.commodities) {
+      double min_len = std::numeric_limits<double>::infinity();
+      for (const Path& p : c.candidates) {
+        min_len = std::min(min_len, path_length(p));
+      }
+      numerator += c.demand * min_len;
+    }
+    double denominator = 0;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      denominator += g.edge(e).capacity * lengths[e];
+    }
+    best_lower = std::max(best_lower, numerator / denominator);
+
+    const double upper =
+        max_congestion(g, solution.load) / static_cast<double>(phase + 1);
+    if (upper <= 1e-12) {  // all candidates are empty paths
+      ++phase;
+      break;
+    }
+    if (best_lower > 0 && upper / best_lower <= 1.0 + eps) {
+      ++phase;
+      break;
+    }
+  }
+  SOR_CHECK(phase > 0);
+
+  const auto scale = 1.0 / static_cast<double>(phase);
+  for (auto& per_commodity : solution.weights) {
+    for (double& w : per_commodity) w *= scale;
+  }
+  for (double& load : solution.load) load *= scale;
+  solution.congestion = max_congestion(g, solution.load);
+  solution.lower_bound = best_lower;
+  if (best_lower > 0 && solution.congestion / best_lower > 1.0 + eps) {
+    SOR_LOG(kWarn) << "restricted MWU stopped at gap "
+                   << solution.congestion / best_lower;
+  }
+  return solution;
+}
+
+}  // namespace sor

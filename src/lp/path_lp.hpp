@@ -1,0 +1,71 @@
+#pragma once
+
+// Min-congestion routing restricted to candidate path sets — the LP that
+// semi-oblivious routing solves once the demand is revealed (Stage 4 of
+// the paper's protocol):
+//
+//   minimize    C
+//   subject to  Σ_p x_{j,p} = d_j                   for each commodity j
+//               Σ_{(j,p): e ∈ p} x_{j,p} <= c_e·C   for each edge e
+//               x >= 0
+//
+// Two backends:
+//  * solve_restricted_exact     — the dense simplex (small instances,
+//                                 certified optimum);
+//  * solve_restricted_mwu       — Fleischer-style multiplicative weights
+//                                 ((1+ε)-approx, scales to every instance
+//                                 in the experiment suite, returns a
+//                                 duality lower bound as certificate).
+// The SemiObliviousRouter picks a backend by instance size; tests
+// cross-validate them.
+
+#include <span>
+#include <vector>
+
+#include "flow/congestion.hpp"
+#include "graph/graph.hpp"
+#include "graph/path.hpp"
+
+namespace sor {
+
+/// One commodity of the restricted problem.
+struct RestrictedCommodity {
+  double demand = 0;
+  std::vector<Path> candidates;  // all with matching endpoints
+};
+
+struct RestrictedProblem {
+  const Graph* graph = nullptr;
+  std::vector<RestrictedCommodity> commodities;
+};
+
+struct RestrictedSolution {
+  /// Congestion of the returned weights (primal; normalized to 1× demand).
+  double congestion = 0;
+  /// Lower bound on the restricted optimum (duality certificate; the
+  /// exact backend sets it equal to `congestion`).
+  double lower_bound = 0;
+  /// weights[j][p] ≥ 0 with Σ_p weights[j][p] = d_j.
+  std::vector<std::vector<double>> weights;
+  /// Per-edge load of the returned routing.
+  EdgeLoad load;
+};
+
+struct RestrictedMwuOptions {
+  double epsilon = 0.05;
+  std::size_t max_phases = 10000;
+};
+
+/// Exact optimum via simplex. Throws CheckError if the solver fails
+/// numerically (does not happen on the instance sizes it is used for).
+RestrictedSolution solve_restricted_exact(const RestrictedProblem& problem);
+
+/// (1+ε)-approximate optimum via multiplicative weights.
+RestrictedSolution solve_restricted_mwu(
+    const RestrictedProblem& problem, const RestrictedMwuOptions& options = {});
+
+/// Validates a RestrictedProblem (endpoints match, demands positive,
+/// every commodity has at least one candidate). Throws CheckError.
+void validate_restricted_problem(const RestrictedProblem& problem);
+
+}  // namespace sor

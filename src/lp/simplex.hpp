@@ -1,0 +1,48 @@
+#pragma once
+
+// Dense two-phase primal simplex.
+//
+// General-purpose exact LP solver for the small instances where we want
+// certified optima: cross-validating the MWU solvers and computing exact
+// min-congestion routings over sampled path systems on test-sized graphs.
+//
+//   minimize    c·x
+//   subject to  row_i: a_i·x (<= | = | >=) b_i     for each constraint
+//               x >= 0
+//
+// Phase 1 drives artificial variables out of the basis; phase 2 optimizes.
+// Dantzig pricing with Bland's rule engaged after a degeneracy streak
+// guarantees termination.
+
+#include <span>
+#include <vector>
+
+namespace sor {
+
+enum class ConstraintSense { kLe, kEq, kGe };
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+
+struct LpConstraint {
+  std::vector<double> coefficients;  // dense, one per variable
+  ConstraintSense sense;
+  double rhs;
+};
+
+struct LpProblem {
+  /// Objective coefficients (minimization); defines the variable count.
+  std::vector<double> objective;
+  std::vector<LpConstraint> constraints;
+};
+
+struct LpSolution {
+  LpStatus status = LpStatus::kIterLimit;
+  double objective_value = 0;
+  std::vector<double> x;
+};
+
+/// Solves the LP exactly (up to numerical tolerance ~1e-9 on pivots).
+/// Intended for instances up to a few thousand nonzeros.
+LpSolution solve_lp(const LpProblem& problem, std::size_t max_iterations = 0);
+
+}  // namespace sor

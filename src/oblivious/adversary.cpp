@@ -1,0 +1,78 @@
+#include "oblivious/adversary.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "demand/generators.hpp"
+#include "util/parallel.hpp"
+
+namespace sor {
+
+ObliviousAdversaryResult find_oblivious_adversary(
+    const ObliviousRouting& routing,
+    const ObliviousAdversaryOptions& options) {
+  SOR_CHECK(options.samples >= 1);
+  const Graph& g = routing.graph();
+  const std::vector<Vertex> endpoints =
+      options.endpoints.empty() ? all_vertices(g) : options.endpoints;
+  SOR_CHECK(endpoints.size() >= 2);
+
+  // Crossing-probability estimates: crossings[pair][e] would be dense;
+  // accumulate sparse per-pair maps in parallel.
+  std::vector<VertexPair> pairs;
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    for (std::size_t j = i + 1; j < endpoints.size(); ++j) {
+      pairs.push_back(VertexPair::canonical(endpoints[i], endpoints[j]));
+    }
+  }
+  std::vector<std::unordered_map<EdgeId, double>> crossing(pairs.size());
+  const Rng base(options.seed);
+  parallel_for(pairs.size(), [&](std::size_t i) {
+    Rng rng = base.split(i);
+    const double share = 1.0 / static_cast<double>(options.samples);
+    for (std::size_t s = 0; s < options.samples; ++s) {
+      const Path p = routing.sample_path(pairs[i].a, pairs[i].b, rng);
+      for (EdgeId e : p.edges) crossing[i][e] += share;
+    }
+  });
+
+  // Invert: per edge, the pairs crossing it with their probabilities.
+  std::vector<std::vector<std::pair<double, std::uint32_t>>> by_edge(
+      g.num_edges());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    for (const auto& [e, p] : crossing[i]) {
+      by_edge[e].emplace_back(p, static_cast<std::uint32_t>(i));
+    }
+  }
+
+  ObliviousAdversaryResult best;
+  std::unordered_map<Vertex, bool> used;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    auto& candidates = by_edge[e];
+    if (candidates.empty()) continue;
+    // Greedy matching: strongest crossing probability first, skip pairs
+    // touching an already-used endpoint (keeps the demand a partial
+    // permutation, so OPT stays small).
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto& x, const auto& y) { return x.first > y.first; });
+    used.clear();
+    Demand demand;
+    double expected = 0;
+    for (const auto& [p, pair_index] : candidates) {
+      const VertexPair pair = pairs[pair_index];
+      if (used[pair.a] || used[pair.b]) continue;
+      used[pair.a] = used[pair.b] = true;
+      demand.add(pair.a, pair.b, 1.0);
+      expected += p;
+    }
+    expected /= g.edge(e).capacity;
+    if (expected > best.expected_congestion) {
+      best.expected_congestion = expected;
+      best.edge = e;
+      best.demand = std::move(demand);
+    }
+  }
+  return best;
+}
+
+}  // namespace sor

@@ -1,0 +1,49 @@
+#pragma once
+
+// Adversarial demand search against an oblivious routing.
+//
+// The classic way to expose a weak oblivious routing (and how the KKT'91
+// style lower bounds are found experimentally): estimate, by sampling,
+// the crossing probability p_e(s,t) = Pr[R's s→t path uses edge e]; then
+// for each edge pick a *matching* of vertex pairs with the largest total
+// crossing probability. Routing that permutation demand obliviously loads
+// e with Σ p_e in expectation while OPT is small (a permutation routes
+// with low congestion on the benchmark families). The demand returned is
+// the best one found over all edges.
+//
+// Used by tests to confirm deterministic shortest-path routing collapses
+// and Valiant/Räcke don't, and available to users evaluating their own
+// ObliviousRouting implementations.
+
+#include <vector>
+
+#include "demand/demand.hpp"
+#include "oblivious/routing.hpp"
+
+namespace sor {
+
+struct ObliviousAdversaryOptions {
+  /// Samples per pair for estimating crossing probabilities.
+  std::size_t samples = 8;
+  /// Candidate endpoints (empty = all vertices).
+  std::vector<Vertex> endpoints;
+  std::uint64_t seed = 0;
+};
+
+struct ObliviousAdversaryResult {
+  /// The permutation(-like) demand found.
+  Demand demand;
+  /// Edge it attacks.
+  EdgeId edge = kInvalidEdge;
+  /// Expected congestion of that edge under the routing (Σ matched
+  /// crossing probabilities / capacity).
+  double expected_congestion = 0;
+};
+
+/// Greedy matching per edge over estimated crossing probabilities;
+/// returns the strongest attack. O(samples · pairs · pathlen + m · pairs).
+ObliviousAdversaryResult find_oblivious_adversary(
+    const ObliviousRouting& routing,
+    const ObliviousAdversaryOptions& options = {});
+
+}  // namespace sor

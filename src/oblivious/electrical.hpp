@@ -1,0 +1,43 @@
+#pragma once
+
+// Electrical-flow oblivious routing.
+//
+// A classic demand-independent scheme: route each (s,t) pair according to
+// the unit electrical s→t flow with conductances = capacities (the
+// minimizer of Σ f_e²/c_e). Sampling a path means decomposing the flow:
+// starting from s, repeatedly step along an out-flow edge chosen with
+// probability proportional to its flow — an unbiased draw from the
+// flow's path decomposition (the flow is acyclic when oriented by
+// potential drop, so the walk terminates at t).
+//
+// Electrical routing is competitive on expanders and meshes but can lose
+// polynomial factors on pathological graphs — exactly the kind of
+// sampling source the E8 ablation contrasts with Räcke.
+
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "demand/demand.hpp"
+#include "oblivious/routing.hpp"
+
+namespace sor {
+
+class ElectricalRouting final : public ObliviousRouting {
+ public:
+  explicit ElectricalRouting(const Graph& g);
+
+  Path sample_path(Vertex s, Vertex t, Rng& rng) const override;
+  std::string name() const override { return "electrical"; }
+
+  /// The cached unit s→t electrical flow (signed per edge, u→v positive),
+  /// computing it on first use.
+  const std::vector<double>& flow(Vertex s, Vertex t) const;
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::unordered_map<VertexPair, std::vector<double>, VertexPairHash>
+      flow_cache_;
+};
+
+}  // namespace sor

@@ -1,0 +1,55 @@
+#include "oblivious/hop_bounded_trees.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/search.hpp"
+
+namespace sor {
+
+HopBoundedTreeRouting::HopBoundedTreeRouting(const Graph& g,
+                                             std::uint32_t hop_bound,
+                                             std::size_t num_trees,
+                                             std::uint64_t seed)
+    : ObliviousRouting(g), hop_bound_(hop_bound) {
+  SOR_CHECK(hop_bound >= 1);
+  SOR_CHECK_MSG(g.is_connected(), "tree routing requires connectivity");
+  if (num_trees == 0) {
+    num_trees = static_cast<std::size_t>(std::ceil(
+                    std::log2(static_cast<double>(g.num_vertices()) + 1))) +
+                3;
+  }
+  const std::vector<double> unit(g.num_edges(), 1.0);
+  const Rng base(seed);
+  trees_.reserve(num_trees);
+  for (std::size_t i = 0; i < num_trees; ++i) {
+    Rng rng = base.split(i);
+    trees_.push_back(build_frt_tree(g, unit, rng));
+  }
+  hops_.resize(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    hops_[v] = bfs(g, v).hops;
+  }
+}
+
+Path HopBoundedTreeRouting::sample_path(Vertex s, Vertex t, Rng& rng) const {
+  SOR_CHECK(s != t);
+  const std::uint32_t budget = std::max(hop_bound_, hops_[s][t]);
+  // Try trees in a random order; accept the first in-budget route. The
+  // retry set is a fixed function of (s, t) plus the rng — oblivious.
+  std::vector<std::uint32_t> order(trees_.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+  for (std::uint32_t i : order) {
+    Path p = trees_[i].route(*graph_, s, t);
+    if (p.hops() <= budget) return p;
+  }
+  // No tree fits (tight budget): a shortest path always does.
+  return shortest_path_hops(*graph_, s, t);
+}
+
+std::string HopBoundedTreeRouting::name() const {
+  return "hoptree" + std::to_string(hop_bound_);
+}
+
+}  // namespace sor

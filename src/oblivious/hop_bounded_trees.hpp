@@ -1,0 +1,41 @@
+#pragma once
+
+// Hop-bounded FRT-tree routing — the second GHZ'21 substitute.
+//
+// Builds an ensemble of FRT trees over the HOP metric (unit lengths): a
+// tree route's length is dominated by the geometric level of the LCA
+// cluster, so routes between nearby vertices are short with good
+// probability. Sampling retries across trees until the mapped route fits
+// the hop budget, falling back to a shortest path when none does. The
+// result is oblivious (distribution fixed per pair), has hard dilation
+// max(h, dist(s,t))·(retry slack), and inherits tree-routing's
+// congestion spreading — complementing the ball-Valiant substitute
+// (hop_constrained.hpp) in the E5 experiment.
+
+#include <vector>
+
+#include "oblivious/routing.hpp"
+#include "tree/frt.hpp"
+
+namespace sor {
+
+class HopBoundedTreeRouting final : public ObliviousRouting {
+ public:
+  /// `hop_bound` h >= 1; `num_trees` 0 = auto (ceil(log2 n) + 3).
+  HopBoundedTreeRouting(const Graph& g, std::uint32_t hop_bound,
+                        std::size_t num_trees = 0, std::uint64_t seed = 0);
+
+  Path sample_path(Vertex s, Vertex t, Rng& rng) const override;
+  std::string name() const override;
+
+  std::uint32_t hop_bound() const { return hop_bound_; }
+  std::size_t num_trees() const { return trees_.size(); }
+
+ private:
+  std::uint32_t hop_bound_;
+  std::vector<HstTree> trees_;
+  /// All-pairs BFS hop distances (budget computation).
+  std::vector<std::vector<std::uint32_t>> hops_;
+};
+
+}  // namespace sor

@@ -1,0 +1,53 @@
+#include "oblivious/hop_constrained.hpp"
+
+#include <algorithm>
+
+#include "graph/search.hpp"
+
+namespace sor {
+
+HopConstrainedRouting::HopConstrainedRouting(const Graph& g,
+                                             std::uint32_t hop_bound)
+    : ObliviousRouting(g), hop_bound_(hop_bound) {
+  SOR_CHECK(hop_bound >= 1);
+  hops_.resize(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    hops_[v] = bfs(g, v).hops;
+  }
+}
+
+Path HopConstrainedRouting::sample_path(Vertex s, Vertex t, Rng& rng) const {
+  SOR_CHECK(s != t);
+  const auto& from_s = hops_[s];
+  const auto& from_t = hops_[t];
+  SOR_CHECK_MSG(from_s[t] != kUnreachableHops, "disconnected pair");
+  const std::uint32_t budget = std::max(hop_bound_, from_s[t]);
+
+  // Capacity-weighted choice among low-detour intermediates.
+  std::vector<Vertex> pool;
+  std::vector<double> weights;
+  for (Vertex w = 0; w < graph_->num_vertices(); ++w) {
+    if (from_s[w] == kUnreachableHops || from_t[w] == kUnreachableHops) {
+      continue;
+    }
+    if (from_s[w] + from_t[w] <= budget) {
+      pool.push_back(w);
+      weights.push_back(graph_->incident_capacity(w));
+    }
+  }
+  SOR_DCHECK(!pool.empty());  // any shortest-path vertex qualifies
+  const Vertex w = pool[rng.next_weighted(weights)];
+
+  if (w == s || w == t) {
+    return shortest_path_hops(*graph_, s, t);
+  }
+  const Path leg1 = shortest_path_hops(*graph_, s, w);
+  const Path leg2 = shortest_path_hops(*graph_, w, t);
+  return simplify_walk(*graph_, concatenate(leg1, leg2));
+}
+
+std::string HopConstrainedRouting::name() const {
+  return "hop" + std::to_string(hop_bound_);
+}
+
+}  // namespace sor

@@ -1,0 +1,46 @@
+#pragma once
+
+// Yen's k-shortest loopless paths, and the KSP-based oblivious routing.
+//
+// KSP path systems are the standard traffic-engineering baseline the SMORE
+// papers compare against (and experiment E8's ablation shows why sampling
+// from an oblivious routing beats them: the k shortest paths share
+// bottleneck edges, while Räcke samples are load-diverse).
+
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "demand/demand.hpp"
+#include "oblivious/routing.hpp"
+
+namespace sor {
+
+/// Up to `k` shortest simple s→t paths by `edge_lengths` (Yen's
+/// algorithm). Returns fewer if the graph has fewer distinct simple
+/// paths. Deterministic.
+std::vector<Path> k_shortest_paths(const Graph& g, Vertex s, Vertex t,
+                                   std::size_t k,
+                                   std::span<const double> edge_lengths);
+
+/// Oblivious routing that picks uniformly among the k shortest paths
+/// (inverse-capacity metric). Pair results are cached.
+class KspRouting final : public ObliviousRouting {
+ public:
+  KspRouting(const Graph& g, std::size_t k);
+
+  Path sample_path(Vertex s, Vertex t, Rng& rng) const override;
+  std::string name() const override;
+
+  /// The cached candidate list for a pair (computing it if needed).
+  const std::vector<Path>& candidates(Vertex s, Vertex t) const;
+
+ private:
+  std::size_t k_;
+  std::vector<double> lengths_;
+  mutable std::mutex mu_;
+  mutable std::unordered_map<VertexPair, std::vector<Path>, VertexPairHash>
+      cache_;
+};
+
+}  // namespace sor

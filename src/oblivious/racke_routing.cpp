@@ -1,0 +1,13 @@
+#include "oblivious/racke_routing.hpp"
+
+namespace sor {
+
+RaeckeRouting::RaeckeRouting(const Graph& g, const RaeckeOptions& options)
+    : ObliviousRouting(g), ensemble_(g, options) {}
+
+Path RaeckeRouting::sample_path(Vertex s, Vertex t, Rng& rng) const {
+  SOR_CHECK(s != t);
+  return ensemble_.sample_path(s, t, rng);
+}
+
+}  // namespace sor

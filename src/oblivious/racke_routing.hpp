@@ -1,0 +1,27 @@
+#pragma once
+
+// ObliviousRouting adapter over the Räcke FRT-tree ensemble — the
+// "β-competitive oblivious routing" the paper's main construction samples
+// from on general graphs.
+
+#include <memory>
+
+#include "oblivious/routing.hpp"
+#include "tree/racke.hpp"
+
+namespace sor {
+
+class RaeckeRouting final : public ObliviousRouting {
+ public:
+  RaeckeRouting(const Graph& g, const RaeckeOptions& options = {});
+
+  Path sample_path(Vertex s, Vertex t, Rng& rng) const override;
+  std::string name() const override { return "racke"; }
+
+  const RaeckeEnsemble& ensemble() const { return ensemble_; }
+
+ private:
+  RaeckeEnsemble ensemble_;
+};
+
+}  // namespace sor

@@ -1,0 +1,36 @@
+#include "oblivious/random_walk.hpp"
+
+#include "graph/search.hpp"
+
+namespace sor {
+
+RandomWalkRouting::RandomWalkRouting(const Graph& g, std::size_t max_steps)
+    : ObliviousRouting(g), max_steps_(max_steps) {
+  if (max_steps_ == 0) max_steps_ = 20 * g.num_vertices();
+}
+
+Path RandomWalkRouting::sample_path(Vertex s, Vertex t, Rng& rng) const {
+  SOR_CHECK(s != t);
+  Path walk{s, s, {}};
+  Vertex at = s;
+  std::vector<double> weights;
+  for (std::size_t step = 0; step < max_steps_ && at != t; ++step) {
+    const auto nbrs = graph_->neighbors(at);
+    weights.clear();
+    weights.reserve(nbrs.size());
+    for (const HalfEdge& h : nbrs) {
+      weights.push_back(graph_->edge(h.id).capacity);
+    }
+    const HalfEdge& chosen = nbrs[rng.next_weighted(weights)];
+    walk.edges.push_back(chosen.id);
+    at = chosen.to;
+  }
+  walk.dst = at;
+  if (at != t) {
+    // Didn't hit t in time: append a shortest path from where we are.
+    walk = concatenate(walk, shortest_path_hops(*graph_, at, t));
+  }
+  return simplify_walk(*graph_, walk);
+}
+
+}  // namespace sor

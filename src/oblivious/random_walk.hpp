@@ -1,0 +1,26 @@
+#pragma once
+
+// Random-walk path sampling — an ablation source (E8).
+//
+// Samples a capacity-weighted random walk from s until it hits t (capped
+// at `max_steps`, falling back to a shortest path), then removes loops.
+// Has no congestion guarantee whatsoever; it exists to demonstrate that
+// the semi-oblivious construction's quality depends on sampling from a
+// *competitive* oblivious routing.
+
+#include "oblivious/routing.hpp"
+
+namespace sor {
+
+class RandomWalkRouting final : public ObliviousRouting {
+ public:
+  RandomWalkRouting(const Graph& g, std::size_t max_steps = 0);
+
+  Path sample_path(Vertex s, Vertex t, Rng& rng) const override;
+  std::string name() const override { return "randomwalk"; }
+
+ private:
+  std::size_t max_steps_;
+};
+
+}  // namespace sor

@@ -1,0 +1,29 @@
+#include "oblivious/routing.hpp"
+
+namespace sor {
+
+EdgeLoad oblivious_route_demand(const ObliviousRouting& routing,
+                                const Demand& demand,
+                                std::size_t samples_per_commodity, Rng& rng) {
+  SOR_CHECK(samples_per_commodity >= 1);
+  const Graph& g = routing.graph();
+  EdgeLoad load = zero_load(g);
+  for (const Commodity& c : demand.commodities()) {
+    const double share = c.amount / static_cast<double>(samples_per_commodity);
+    for (std::size_t i = 0; i < samples_per_commodity; ++i) {
+      const Path p = routing.sample_path(c.src, c.dst, rng);
+      add_path_load(p, share, load);
+    }
+  }
+  return load;
+}
+
+double oblivious_congestion(const ObliviousRouting& routing,
+                            const Demand& demand,
+                            std::size_t samples_per_commodity, Rng& rng) {
+  return max_congestion(
+      routing.graph(),
+      oblivious_route_demand(routing, demand, samples_per_commodity, rng));
+}
+
+}  // namespace sor

@@ -1,0 +1,54 @@
+#pragma once
+
+// The oblivious-routing abstraction.
+//
+// An oblivious routing R assigns to every vertex pair (s,t) a fixed
+// distribution over simple s→t paths, independent of the demand. The
+// semi-oblivious layer (src/core) only ever *samples* from R — Definition
+// 5.2's (λ·k)-sample — so the interface is a sampler. Helpers evaluate the
+// congestion R itself achieves on a demand (splitting each commodity
+// across many samples approximates the fractional oblivious routing).
+
+#include <memory>
+#include <string>
+
+#include "demand/demand.hpp"
+#include "flow/congestion.hpp"
+#include "graph/graph.hpp"
+#include "graph/path.hpp"
+#include "util/rng.hpp"
+
+namespace sor {
+
+class ObliviousRouting {
+ public:
+  virtual ~ObliviousRouting() = default;
+
+  /// Draws one simple s→t path from the routing's distribution.
+  /// s != t; both in range. Thread-safe for concurrent calls with
+  /// distinct Rng instances.
+  virtual Path sample_path(Vertex s, Vertex t, Rng& rng) const = 0;
+
+  /// Identifier used in experiment tables.
+  virtual std::string name() const = 0;
+
+  const Graph& graph() const { return *graph_; }
+
+ protected:
+  explicit ObliviousRouting(const Graph& g) : graph_(&g) {}
+  const Graph* graph_;
+};
+
+/// Edge load of routing `demand` obliviously with R, splitting every
+/// commodity uniformly over `samples_per_commodity` sampled paths — a
+/// Monte-Carlo approximation of R's fractional routing of the demand.
+EdgeLoad oblivious_route_demand(const ObliviousRouting& routing,
+                                const Demand& demand,
+                                std::size_t samples_per_commodity, Rng& rng);
+
+/// max edge congestion of oblivious_route_demand.
+double oblivious_congestion(const ObliviousRouting& routing,
+                            const Demand& demand,
+                            std::size_t samples_per_commodity, Rng& rng);
+
+}  // namespace sor

@@ -1,0 +1,39 @@
+#include "oblivious/valiant.hpp"
+
+namespace sor {
+
+ValiantHypercube::ValiantHypercube(const Graph& g, std::uint32_t dimension)
+    : ObliviousRouting(g), dimension_(dimension) {
+  SOR_CHECK_MSG(g.num_vertices() == (std::size_t{1} << dimension),
+                "graph is not a 2^d-vertex hypercube");
+  // Spot-check the edge structure (full validation is the generator's job).
+  for (const Edge& e : g.edges()) {
+    const Vertex diff = e.u ^ e.v;
+    SOR_CHECK_MSG((diff & (diff - 1)) == 0 && diff != 0,
+                  "edge does not flip exactly one address bit");
+  }
+}
+
+Path ValiantHypercube::bit_fixing_path(Vertex s, Vertex t) const {
+  std::vector<Vertex> verts{s};
+  Vertex at = s;
+  for (std::uint32_t b = 0; b < dimension_; ++b) {
+    const Vertex bit = Vertex{1} << b;
+    if ((at ^ t) & bit) {
+      at ^= bit;
+      verts.push_back(at);
+    }
+  }
+  return path_from_vertices(*graph_, verts);
+}
+
+Path ValiantHypercube::sample_path(Vertex s, Vertex t, Rng& rng) const {
+  SOR_CHECK(s != t);
+  const auto w =
+      static_cast<Vertex>(rng.next_u64(graph_->num_vertices()));
+  const Path leg1 = bit_fixing_path(s, w);
+  const Path leg2 = bit_fixing_path(w, t);
+  return simplify_walk(*graph_, concatenate(leg1, leg2));
+}
+
+}  // namespace sor

@@ -1,0 +1,30 @@
+#pragma once
+
+// Valiant–Brebner randomized routing on the hypercube.
+//
+// "Valiant's trick": route s → w → t through a uniformly random
+// intermediate vertex w, each leg greedily bit-fixing (correcting
+// differing address bits in dimension order). For any permutation demand
+// the expected congestion of every edge is O(1) — the O(1)-competitive
+// oblivious routing the paper's hypercube overview (§5.1) samples from.
+
+#include "oblivious/routing.hpp"
+
+namespace sor {
+
+class ValiantHypercube final : public ObliviousRouting {
+ public:
+  /// `g` must be make_hypercube(dimension) (vertex ids are addresses).
+  ValiantHypercube(const Graph& g, std::uint32_t dimension);
+
+  Path sample_path(Vertex s, Vertex t, Rng& rng) const override;
+  std::string name() const override { return "valiant"; }
+
+  /// The deterministic greedy bit-fixing walk s→t (no intermediate).
+  Path bit_fixing_path(Vertex s, Vertex t) const;
+
+ private:
+  std::uint32_t dimension_;
+};
+
+}  // namespace sor

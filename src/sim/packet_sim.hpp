@@ -1,0 +1,36 @@
+#pragma once
+
+// Store-and-forward packet simulator.
+//
+// Validates the completion-time surrogate (congestion + dilation): given
+// one fixed path per packet, schedule transmission on unit-time edges —
+// each edge forwards at most floor(capacity) packets per step — and
+// measure the makespan. Queueing uses the Leighton–Maggs–Rao random-rank
+// discipline (each packet carries a random priority drawn once), which
+// achieves O(congestion + dilation) makespan with high probability.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/path.hpp"
+#include "util/rng.hpp"
+
+namespace sor {
+
+struct SimResult {
+  /// Steps until every packet reached its destination.
+  std::size_t makespan = 0;
+  /// max over edges of total packets crossing it (the schedule-independent
+  /// congestion C; makespan >= max(C/floor(cap), D)).
+  std::size_t max_edge_packets = 0;
+  /// Longest packet path (the dilation D).
+  std::size_t dilation = 0;
+};
+
+/// Simulates the packets; paths may be empty (those packets arrive at
+/// time 0). Deterministic given the rng.
+SimResult simulate_store_and_forward(const Graph& g,
+                                     std::span<const Path> packet_paths,
+                                     Rng& rng);
+
+}  // namespace sor

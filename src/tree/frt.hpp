@@ -1,0 +1,76 @@
+#pragma once
+
+// FRT random hierarchically-separated tree (HST) embeddings.
+//
+// Fakcharoenphol–Rao–Talwar (2004): given a metric (here: shortest-path
+// distances of the graph under a supplied positive edge-length function),
+// a random permutation π and a random scale β ∈ [1,2) define a laminar
+// clustering whose cluster diameters shrink geometrically; the resulting
+// tree has expected distance stretch O(log n).
+//
+// Räcke (2008) reduces O(log n)-competitive oblivious routing to a convex
+// combination of exactly such trees, each tree edge mapped back to a
+// shortest graph path between cluster centers. HstTree stores that mapping
+// (`up_path`) and the cut capacity of every cluster, which is what the
+// ensemble construction (racke.hpp) charges edges with.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/path.hpp"
+#include "util/rng.hpp"
+
+namespace sor {
+
+using HstNodeId = std::uint32_t;
+inline constexpr HstNodeId kInvalidHstNode = static_cast<HstNodeId>(-1);
+
+struct HstNode {
+  /// Representative vertex (the π-minimal FRT center covering the cluster).
+  Vertex center = kInvalidVertex;
+  /// Geometric level: cluster radius is beta·2^level (leaves are level 0).
+  std::int32_t level = 0;
+  HstNodeId parent = kInvalidHstNode;
+  std::vector<HstNodeId> children;
+  /// Vertices contained in the cluster.
+  std::vector<Vertex> members;
+  /// Σ capacity of graph edges with exactly one endpoint in the cluster.
+  double cut_capacity = 0;
+  /// Graph path from this cluster's center to the parent's center under
+  /// the build-time edge lengths (empty at the root or when centers
+  /// coincide).
+  Path up_path;
+};
+
+class HstTree {
+ public:
+  HstTree(std::vector<HstNode> nodes, std::vector<HstNodeId> leaf_of_vertex);
+
+  const std::vector<HstNode>& nodes() const { return nodes_; }
+  const HstNode& node(HstNodeId id) const { return nodes_[id]; }
+  HstNodeId root() const { return 0; }
+  HstNodeId leaf_of(Vertex v) const { return leaf_of_vertex_[v]; }
+
+  /// The unique tree path s→t mapped into the graph and simplified to a
+  /// simple path. Deterministic.
+  Path route(const Graph& g, Vertex s, Vertex t) const;
+
+  /// Tree distance in hops between two vertices' leaves (tree edges).
+  std::size_t tree_hops(Vertex s, Vertex t) const;
+
+ private:
+  /// Lowest common ancestor of two nodes (by parent-walking with depths).
+  HstNodeId lca(HstNodeId a, HstNodeId b) const;
+
+  std::vector<HstNode> nodes_;
+  std::vector<HstNodeId> leaf_of_vertex_;
+  std::vector<std::uint32_t> depth_;
+};
+
+/// Builds one FRT tree for the metric induced by `edge_lengths` (all > 0).
+/// The graph must be connected. Randomness: permutation + β from `rng`.
+HstTree build_frt_tree(const Graph& g, std::span<const double> edge_lengths,
+                       Rng& rng);
+
+}  // namespace sor

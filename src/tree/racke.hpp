@@ -1,0 +1,91 @@
+#pragma once
+
+// Räcke-style oblivious routing: a multiplicative-weights ensemble of FRT
+// trees.
+//
+// Räcke (STOC'08) shows that an O(log n)-competitive oblivious routing is
+// exactly a convex combination of tree routings, and that the combination
+// can be found by an experts/MWU loop: repeatedly build a distance-based
+// decomposition tree where "distance" grows exponentially in the relative
+// load the previous trees put on each edge, so later trees avoid hot
+// edges. The per-tree load accounting charges every tree edge (cluster S →
+// parent) with the cluster's cut capacity cap(δ(S)) — the worst case over
+// all demands routable in the graph — spread over the mapped graph path.
+//
+// This is the same construction that the SMORE traffic-engineering system
+// ships, and the oblivious-routing source the paper's Theorem 5.3 samples
+// from.
+
+#include <cstdint>
+#include <span>
+#include <tuple>
+#include <vector>
+
+#include "tree/frt.hpp"
+
+namespace sor {
+
+struct RaeckeOptions {
+  /// Number of trees; 0 = auto (2·ceil(log2 n) + 4).
+  std::size_t num_trees = 0;
+  /// MWU exponent on relative load (higher = stronger hot-edge avoidance).
+  double eta = 1.0;
+  /// If true, replace the uniform mixture by weights optimizing the
+  /// zero-sum game  min_w max_e Σ_i w_i·rload_i(e)  (matrix-game MWU,
+  /// Räcke'08's weight step). Never worse than uniform; often shaves a
+  /// constant factor off the congestion certificate.
+  bool optimize_weights = false;
+  std::uint64_t seed = 0;
+};
+
+class RaeckeEnsemble {
+ public:
+  /// Builds the ensemble; trees are constructed in parallel batches whose
+  /// load feedback is sequential across batches of size 1 (i.e. strictly
+  /// sequential MWU; parallelism is used inside each tree build).
+  RaeckeEnsemble(const Graph& g, const RaeckeOptions& options);
+
+  const Graph& graph() const { return *graph_; }
+  std::size_t num_trees() const { return trees_.size(); }
+  const HstTree& tree(std::size_t i) const { return trees_[i]; }
+  double tree_weight(std::size_t i) const { return weights_[i]; }
+
+  /// Samples a tree index from the mixture.
+  std::size_t sample_tree(Rng& rng) const;
+
+  /// Samples an s→t path: pick a tree from the mixture, take its route.
+  Path sample_path(Vertex s, Vertex t, Rng& rng) const;
+
+  /// max_e (Σ_i w_i · rload_i(e)) — the congestion certificate of the
+  /// mixture (an upper bound on the competitive ratio against any demand
+  /// routable with congestion 1).
+  double mixture_max_relative_load() const;
+
+ private:
+  const Graph* graph_;
+  std::vector<HstTree> trees_;
+  std::vector<double> weights_;
+  std::vector<double> mixture_rload_;  // Σ_i w_i · rload_i per edge
+};
+
+/// Relative load rload(e) = (Σ_{tree edges S→parent with e on the mapped
+/// path} cap(δ(S))) / c_e for one tree.
+std::vector<double> tree_relative_load(const Graph& g, const HstTree& tree);
+
+/// Solves min_w max_e Σ_i w_i·loads[i][e] over the probability simplex by
+/// matrix-game multiplicative weights (edge player: exponential weights;
+/// tree player: best response), returning the averaged tree weights.
+/// `loads[i]` is tree i's relative-load vector.
+std::vector<double> optimize_mixture_weights(
+    const std::vector<std::vector<double>>& loads,
+    std::size_t iterations = 300);
+
+/// EXACT per-edge load of fractionally routing `commodities` through the
+/// ensemble mixture (each commodity splits across trees by the mixture
+/// weights and follows each tree's deterministic route) — no Monte Carlo
+/// error, used for precise oblivious-routing references in tests/benches.
+std::vector<double> exact_mixture_load(
+    const RaeckeEnsemble& ensemble,
+    std::span<const std::tuple<Vertex, Vertex, double>> commodities);
+
+}  // namespace sor

@@ -1,0 +1,55 @@
+#pragma once
+
+// Lightweight invariant checking.
+//
+// SOR_CHECK is always on (cheap argument/invariant validation at API
+// boundaries); SOR_DCHECK compiles away in NDEBUG builds and is meant for
+// hot inner loops. Both throw sor::CheckError so tests can assert on
+// contract violations instead of aborting the process.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sor {
+
+/// Thrown when a SOR_CHECK / SOR_DCHECK condition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_fail(const char* cond, const char* file,
+                                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace sor
+
+#define SOR_CHECK(cond)                                              \
+  do {                                                               \
+    if (!(cond)) ::sor::detail::check_fail(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define SOR_CHECK_MSG(cond, msg)                                     \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::ostringstream sor_check_os_;                              \
+      sor_check_os_ << msg;                                          \
+      ::sor::detail::check_fail(#cond, __FILE__, __LINE__,           \
+                                sor_check_os_.str());                \
+    }                                                                \
+  } while (0)
+
+#ifdef NDEBUG
+#define SOR_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define SOR_DCHECK(cond) SOR_CHECK(cond)
+#endif

@@ -1,0 +1,43 @@
+#pragma once
+
+// Minimal leveled logging to stderr.
+//
+// The library itself logs sparingly (construction progress of expensive
+// structures, solver convergence warnings); benches raise the level for
+// progress reporting. Not thread-buffered beyond one line at a time —
+// each log call formats into a local stream then writes once.
+
+#include <sstream>
+#include <string>
+
+namespace sor {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped. Default: kWarn.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Writes one formatted line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, os_.str()); }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace sor
+
+#define SOR_LOG(level) ::sor::detail::LogMessage(::sor::LogLevel::level)

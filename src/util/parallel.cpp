@@ -1,0 +1,51 @@
+#include "util/parallel.hpp"
+
+#include <future>
+#include <mutex>
+#include <vector>
+
+namespace sor {
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  ThreadPool* pool) {
+  if (n == 0) return;
+  if (pool == nullptr) pool = &ThreadPool::global();
+
+  const std::size_t workers = pool->num_threads();
+  if (n == 1 || workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // One chunk per worker plus one for the caller; a shared atomic cursor
+  // inside each chunk is unnecessary because chunks are contiguous.
+  const std::size_t chunks = std::min(n, workers + 1);
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;
+
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  auto run_chunk = [&](std::size_t c) {
+    const std::size_t begin = c * base + std::min(c, extra);
+    const std::size_t end = begin + base + (c < extra ? 1 : 0);
+    try {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    } catch (...) {
+      std::lock_guard lock(err_mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks - 1);
+  for (std::size_t c = 1; c < chunks; ++c) {
+    futures.push_back(pool->submit([&run_chunk, c] { run_chunk(c); }));
+  }
+  run_chunk(0);
+  for (auto& f : futures) f.wait();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace sor

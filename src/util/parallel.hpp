@@ -1,0 +1,48 @@
+#pragma once
+
+// parallel_for: block-partitioned parallel loop over [0, n).
+//
+// The body receives the loop index. Iterations are divided into
+// contiguous chunks, one future per chunk; the calling thread also works,
+// so parallel_for composes with code already running on a pool thread
+// without deadlocking (the caller never blocks on work it could do itself
+// until all chunks it did not claim are finished).
+//
+// Exceptions thrown by the body are propagated (the first one observed).
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+
+#include "util/thread_pool.hpp"
+
+namespace sor {
+
+/// Runs body(i) for i in [0, n) across the pool. Deterministic work
+/// partition (chunking depends only on n and thread count), so per-index
+/// seeding yields reproducible results.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  ThreadPool* pool = nullptr);
+
+/// Parallel map-reduce: combine(acc, body(i)) over i in [0, n).
+/// `combine` must be associative & commutative; applied under a lock only
+/// once per chunk.
+template <typename T, typename Body, typename Combine>
+T parallel_reduce(std::size_t n, T init, Body&& body, Combine&& combine,
+                  ThreadPool* pool = nullptr) {
+  std::mutex mu;
+  T acc = init;
+  parallel_for(
+      n,
+      [&](std::size_t i) {
+        T local = body(i);
+        std::lock_guard lock(mu);
+        acc = combine(acc, local);
+      },
+      pool);
+  return acc;
+}
+
+}  // namespace sor

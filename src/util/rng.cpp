@@ -1,0 +1,109 @@
+#include "util/rng.hpp"
+
+#include <numeric>
+
+namespace sor {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::split(std::uint64_t stream_id) const {
+  // Mix the full parent state with the stream id through splitmix64 so that
+  // distinct ids give statistically independent children.
+  std::uint64_t acc = 0x243f6a8885a308d3ULL ^ stream_id;
+  for (auto s : s_) {
+    std::uint64_t tmp = acc ^ s;
+    acc = splitmix64(tmp);
+  }
+  return Rng(acc);
+}
+
+std::uint64_t Rng::next_u64(std::uint64_t bound) {
+  SOR_DCHECK(bound > 0);
+  // Lemire's multiply-shift rejection method: unbiased.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::next_i64(std::int64_t lo, std::int64_t hi) {
+  SOR_DCHECK(lo <= hi);
+  const auto range =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>((*this)());  // full range
+  return lo + static_cast<std::int64_t>(next_u64(range));
+}
+
+double Rng::next_double() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::next_double(double lo, double hi) {
+  SOR_DCHECK(lo <= hi);
+  return lo + (hi - lo) * next_double();
+}
+
+bool Rng::next_bool(double p_true) { return next_double() < p_true; }
+
+std::size_t Rng::next_weighted(std::span<const double> weights) {
+  SOR_CHECK(!weights.empty());
+  double total = 0;
+  for (double w : weights) {
+    SOR_DCHECK(w >= 0);
+    total += w;
+  }
+  SOR_CHECK_MSG(total > 0, "all sampling weights are zero");
+  double r = next_double() * total;
+  double acc = 0;
+  for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::uint32_t> Rng::permutation(std::size_t n) {
+  std::vector<std::uint32_t> p(n);
+  std::iota(p.begin(), p.end(), 0u);
+  shuffle(p);
+  return p;
+}
+
+}  // namespace sor

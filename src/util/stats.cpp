@@ -1,0 +1,95 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace sor {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  SOR_CHECK(n_ > 0);
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  SOR_CHECK(n_ > 0);
+  return min_;
+}
+
+double RunningStats::max() const {
+  SOR_CHECK(n_ > 0);
+  return max_;
+}
+
+double quantile(std::span<const double> data, double q) {
+  SOR_CHECK(!data.empty());
+  SOR_CHECK(q >= 0 && q <= 1);
+  std::vector<double> sorted(data.begin(), data.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+double geometric_mean(std::span<const double> data) {
+  SOR_CHECK(!data.empty());
+  double log_sum = 0;
+  for (double x : data) {
+    SOR_CHECK_MSG(x > 0, "geometric_mean requires positive values");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(data.size()));
+}
+
+double mean(std::span<const double> data) {
+  SOR_CHECK(!data.empty());
+  double sum = 0;
+  for (double x : data) sum += x;
+  return sum / static_cast<double>(data.size());
+}
+
+double max_value(std::span<const double> data) {
+  SOR_CHECK(!data.empty());
+  return *std::max_element(data.begin(), data.end());
+}
+
+std::vector<std::size_t> histogram(std::span<const double> data, double lo,
+                                   double hi, std::size_t bins) {
+  SOR_CHECK(bins > 0);
+  SOR_CHECK(lo < hi);
+  std::vector<std::size_t> counts(bins, 0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double x : data) {
+    auto b = static_cast<std::ptrdiff_t>((x - lo) / width);
+    b = std::clamp<std::ptrdiff_t>(b, 0,
+                                   static_cast<std::ptrdiff_t>(bins) - 1);
+    ++counts[static_cast<std::size_t>(b)];
+  }
+  return counts;
+}
+
+}  // namespace sor

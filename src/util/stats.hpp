@@ -1,0 +1,50 @@
+#pragma once
+
+// Streaming and batch statistics used by the experiment harnesses.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sor {
+
+/// Streaming mean / variance (Welford) with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Unbiased sample variance; 0 if fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Exact quantile of a sample (linear interpolation between order
+/// statistics). q in [0, 1]; data must be non-empty.
+double quantile(std::span<const double> data, double q);
+
+/// Geometric mean; all entries must be positive.
+double geometric_mean(std::span<const double> data);
+
+/// Arithmetic mean; data must be non-empty.
+double mean(std::span<const double> data);
+
+/// Maximum element; data must be non-empty.
+double max_value(std::span<const double> data);
+
+/// Histogram with equal-width bins over [lo, hi]; values outside are
+/// clamped to the boundary bins.
+std::vector<std::size_t> histogram(std::span<const double> data, double lo,
+                                   double hi, std::size_t bins);
+
+}  // namespace sor

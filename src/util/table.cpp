@@ -1,0 +1,83 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace sor {
+
+Table::Table(std::vector<std::string> column_names)
+    : columns_(std::move(column_names)) {
+  SOR_CHECK(!columns_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  SOR_CHECK_MSG(cells.size() == columns_.size(),
+                "row has " << cells.size() << " cells, table has "
+                           << columns_.size() << " columns");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string Table::fmt_int(long long value) { return std::to_string(value); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto rule = [&] {
+    os << '+';
+    for (auto w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << std::setw(static_cast<int>(widths[c])) << cells[c] << " |";
+    }
+    os << '\n';
+  };
+
+  rule();
+  line(columns_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  emit(columns_);
+  for (const auto& row : rows_) emit(row);
+}
+
+void print_banner(std::ostream& os, const std::string& experiment_id,
+                  const std::string& description) {
+  os << "\n==== " << experiment_id << " ====\n" << description << "\n\n";
+}
+
+}  // namespace sor

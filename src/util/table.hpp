@@ -1,0 +1,45 @@
+#pragma once
+
+// Plain-text table formatting for the experiment harnesses.
+//
+// Every bench binary prints its reproduction of a paper table/figure as an
+// aligned monospace table plus (optionally) a CSV block that downstream
+// plotting can consume. Keeping this in one place makes all experiment
+// output uniform.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sor {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> column_names);
+
+  /// Adds a row; must have exactly as many cells as there are columns.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic cells with fixed precision.
+  static std::string fmt(double value, int precision = 3);
+  static std::string fmt_int(long long value);
+
+  /// Aligned, boxed plain-text rendering.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated rendering (header + rows).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return columns_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner (experiment id + description) around bench output.
+void print_banner(std::ostream& os, const std::string& experiment_id,
+                  const std::string& description);
+
+}  // namespace sor

@@ -1,0 +1,64 @@
+#pragma once
+
+// A small fixed-size thread pool.
+//
+// The pool is deliberately simple: a single mutex-protected FIFO of
+// std::function tasks. The workloads in this library are coarse-grained
+// (tree embeddings, per-pair sampling batches, per-trial experiment runs),
+// so queue contention is negligible and a work-stealing deque would add
+// complexity without measurable benefit.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sor {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers; 0 means
+  /// hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Drains and joins. Tasks already queued are completed.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task; the future resolves when it completes (exceptions are
+  /// propagated through the future).
+  template <typename F>
+  std::future<void> submit(F&& f) {
+    auto task =
+        std::make_shared<std::packaged_task<void()>>(std::forward<F>(f));
+    std::future<void> fut = task->get_future();
+    {
+      std::lock_guard lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Process-wide default pool, created on first use.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sor

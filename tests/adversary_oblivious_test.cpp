@@ -1,0 +1,86 @@
+// Tests for the oblivious-routing adversarial demand finder: it must
+// expose the deterministic shortest-path scheme (concentrated crossing
+// probabilities) while randomized schemes survive, and its demand must be
+// a partial permutation with genuinely high measured congestion.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "demand/generators.hpp"
+#include "graph/generators.hpp"
+#include "oblivious/adversary.hpp"
+#include "oblivious/shortest_path.hpp"
+#include "oblivious/valiant.hpp"
+
+namespace sor {
+namespace {
+
+TEST(ObliviousAdversary, DemandIsPartialPermutation) {
+  const Graph g = make_grid(4, 4);
+  const ShortestPathRouting routing(g);
+  ObliviousAdversaryOptions options;
+  options.samples = 2;  // deterministic routing: 1 would do
+  const ObliviousAdversaryResult r = find_oblivious_adversary(routing, options);
+  ASSERT_FALSE(r.demand.empty());
+  std::map<Vertex, int> uses;
+  for (const Commodity& c : r.demand.commodities()) {
+    EXPECT_DOUBLE_EQ(c.amount, 1.0);
+    ++uses[c.src];
+    ++uses[c.dst];
+  }
+  for (const auto& [v, count] : uses) EXPECT_EQ(count, 1);
+}
+
+TEST(ObliviousAdversary, ExposesDeterministicRouting) {
+  const std::uint32_t d = 5;
+  const Graph g = make_hypercube(d);
+  const ShortestPathRouting deterministic(g);
+  const ValiantHypercube valiant(g, d);
+
+  ObliviousAdversaryOptions det_options;
+  det_options.samples = 1;  // point mass
+  det_options.seed = 1;
+  const auto det = find_oblivious_adversary(deterministic, det_options);
+
+  ObliviousAdversaryOptions val_options;
+  val_options.samples = 16;
+  val_options.seed = 2;
+  const auto val = find_oblivious_adversary(valiant, val_options);
+
+  // The deterministic scheme concentrates whole pairs on one edge; the
+  // randomized scheme's per-pair crossing probabilities are diluted.
+  EXPECT_GT(det.expected_congestion, 2.0 * val.expected_congestion);
+  EXPECT_GT(det.expected_congestion, 4.0);
+}
+
+TEST(ObliviousAdversary, PredictionMatchesMeasurement) {
+  const Graph g = make_grid(5, 5);
+  const ShortestPathRouting routing(g);
+  ObliviousAdversaryOptions options;
+  options.samples = 1;
+  const auto r = find_oblivious_adversary(routing, options);
+  ASSERT_NE(r.edge, kInvalidEdge);
+
+  // Route the demand with the deterministic scheme; the attacked edge
+  // must actually carry what the adversary predicted.
+  Rng rng(3);
+  const EdgeLoad load = oblivious_route_demand(routing, r.demand, 1, rng);
+  EXPECT_NEAR(edge_congestion(g, r.edge, load), r.expected_congestion, 1e-9);
+}
+
+TEST(ObliviousAdversary, RestrictedEndpoints) {
+  const Graph g = make_grid(4, 4);
+  const ShortestPathRouting routing(g);
+  ObliviousAdversaryOptions options;
+  options.samples = 1;
+  options.endpoints = {0, 3, 12, 15};
+  const auto r = find_oblivious_adversary(routing, options);
+  for (const Commodity& c : r.demand.commodities()) {
+    EXPECT_TRUE(c.src == 0 || c.src == 3 || c.src == 12 || c.src == 15);
+    EXPECT_TRUE(c.dst == 0 || c.dst == 3 || c.dst == 12 || c.dst == 15);
+  }
+}
+
+}  // namespace
+}  // namespace sor

@@ -1,0 +1,157 @@
+// Tests for src/compact: interval-labelled spanning-tree forwarding and
+// the compact oblivious routing scheme.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "compact/compact_scheme.hpp"
+#include "compact/interval_tree.hpp"
+#include "core/router.hpp"
+#include "core/sampler.hpp"
+#include "demand/generators.hpp"
+#include "graph/generators.hpp"
+#include "graph/search.hpp"
+
+namespace sor {
+namespace {
+
+TEST(SpanningTree, CoversAllVerticesWithValidEdges) {
+  const Graph g = make_torus(4, 4);
+  Rng rng(1);
+  const SpanningTree tree = random_spanning_tree(g, rng);
+  std::size_t roots = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (tree.parent[v] == kInvalidVertex) {
+      ++roots;
+      EXPECT_EQ(v, tree.root);
+    } else {
+      const Edge& e = g.edge(tree.parent_edge[v]);
+      EXPECT_TRUE((e.u == v && e.v == tree.parent[v]) ||
+                  (e.v == v && e.u == tree.parent[v]));
+    }
+  }
+  EXPECT_EQ(roots, 1u);
+}
+
+TEST(SpanningTree, DifferentSeedsGiveDifferentTrees) {
+  const Graph g = make_complete(8);
+  Rng a(1), b(2);
+  const SpanningTree ta = random_spanning_tree(g, a);
+  const SpanningTree tb = random_spanning_tree(g, b);
+  bool differ = ta.root != tb.root;
+  for (Vertex v = 0; v < g.num_vertices() && !differ; ++v) {
+    differ = ta.parent[v] != tb.parent[v];
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(IntervalRouter, ForwardingReachesEveryDestination) {
+  const Graph g = make_grid(4, 4);
+  Rng rng(3);
+  const IntervalTreeRouter router(g, random_spanning_tree(g, rng));
+  for (Vertex s = 0; s < g.num_vertices(); ++s) {
+    for (Vertex t = 0; t < g.num_vertices(); ++t) {
+      if (s == t) continue;
+      const Path p = router.route(s, t);
+      EXPECT_TRUE(is_simple_path(g, p)) << s << "→" << t;
+      EXPECT_EQ(p.src, s);
+      EXPECT_EQ(p.dst, t);
+    }
+  }
+}
+
+TEST(IntervalRouter, RouteIsTheUniqueTreePath) {
+  // On a tree graph, interval routing must produce the only simple path.
+  const Graph g = make_binary_tree(4);
+  Rng rng(4);
+  const IntervalTreeRouter router(g, random_spanning_tree(g, rng));
+  for (Vertex s = 0; s < g.num_vertices(); s += 3) {
+    for (Vertex t = 1; t < g.num_vertices(); t += 4) {
+      if (s == t) continue;
+      EXPECT_EQ(router.route(s, t).edges,
+                shortest_path_hops(g, s, t).edges);
+    }
+  }
+}
+
+TEST(IntervalRouter, TablesAreCompact) {
+  const Graph g = make_complete(16);  // dense graph, sparse tables
+  Rng rng(5);
+  const IntervalTreeRouter router(g, random_spanning_tree(g, rng));
+  // Σ_v tree-degree(v) = 2(n−1); table words = 2·degree + 1 per vertex.
+  EXPECT_EQ(router.total_table_words(),
+            2 * 2 * (g.num_vertices() - 1) + g.num_vertices());
+  EXPECT_LT(router.max_table_words(), 2 * g.num_vertices() + 1);
+}
+
+TEST(IntervalRouter, LabelsAreAPermutation) {
+  const Graph g = make_torus(3, 4);
+  Rng rng(6);
+  const IntervalTreeRouter router(g, random_spanning_tree(g, rng));
+  std::set<std::uint32_t> labels;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    labels.insert(router.label(v));
+  }
+  EXPECT_EQ(labels.size(), g.num_vertices());
+  EXPECT_EQ(*labels.rbegin(), g.num_vertices() - 1);
+}
+
+TEST(CompactScheme, ActsAsObliviousRouting) {
+  const Graph g = make_torus(4, 4);
+  CompactSchemeOptions options;
+  options.seed = 7;
+  const CompactRoutingScheme scheme(g, options);
+  Rng rng(8);
+  for (int i = 0; i < 60; ++i) {
+    Vertex s = 0, t = 0;
+    while (s == t) {
+      s = static_cast<Vertex>(rng.next_u64(g.num_vertices()));
+      t = static_cast<Vertex>(rng.next_u64(g.num_vertices()));
+    }
+    const Path p = scheme.sample_path(s, t, rng);
+    EXPECT_TRUE(is_simple_path(g, p));
+    EXPECT_EQ(p.src, s);
+    EXPECT_EQ(p.dst, t);
+  }
+  // State per vertex is far below a per-pair path table.
+  EXPECT_LT(scheme.max_table_words(),
+            g.num_vertices() * g.num_vertices() / 4);
+}
+
+TEST(CompactScheme, WeightsFormDistribution) {
+  const Graph g = make_grid(4, 4);
+  CompactSchemeOptions options;
+  options.seed = 9;
+  options.num_trees = 5;
+  const CompactRoutingScheme scheme(g, options);
+  EXPECT_EQ(scheme.num_trees(), 5u);
+  double total = 0;
+  for (std::size_t i = 0; i < scheme.num_trees(); ++i) {
+    EXPECT_GE(scheme.tree_weight(i), 0.0);
+    total += scheme.tree_weight(i);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(CompactScheme, PlugsIntoSemiObliviousPipeline) {
+  // The compactness headline: sample a path system from the compact
+  // scheme and route a demand end to end.
+  const Graph g = make_torus(4, 4);
+  CompactSchemeOptions options;
+  options.seed = 10;
+  const CompactRoutingScheme scheme(g, options);
+  Rng rng(11);
+  const Demand demand = random_permutation_demand(g, rng);
+  SampleOptions sample;
+  sample.k = 4;
+  const PathSystem ps =
+      sample_path_system_for_demand(scheme, demand, sample, 12);
+  const SemiObliviousRouter router(g, ps);
+  const FractionalRoute route = router.route_fractional(demand);
+  EXPECT_GT(route.congestion, 0.0);
+  EXPECT_LT(route.congestion, 20.0);
+}
+
+}  // namespace
+}  // namespace sor

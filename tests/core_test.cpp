@@ -1,0 +1,318 @@
+// Unit tests for src/core: PathSystem semantics, (λ·k)-sampling, the
+// semi-oblivious router (fractional + integral), and evaluation helpers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/evaluate.hpp"
+#include "core/path_system.hpp"
+#include "core/router.hpp"
+#include "core/sampler.hpp"
+#include "demand/generators.hpp"
+#include "graph/generators.hpp"
+#include "graph/search.hpp"
+#include "oblivious/ksp.hpp"
+#include "oblivious/racke_routing.hpp"
+#include "oblivious/shortest_path.hpp"
+#include "oblivious/valiant.hpp"
+
+namespace sor {
+namespace {
+
+TEST(PathSystem, CanonicalizesOrientation) {
+  Graph g(3);
+  const EdgeId e01 = g.add_edge(0, 1);
+  const EdgeId e12 = g.add_edge(1, 2);
+  PathSystem ps;
+  ps.add(Path{2, 0, {e12, e01}});  // given dst→src
+  EXPECT_TRUE(ps.has_pair(0, 2));
+  EXPECT_TRUE(ps.has_pair(2, 0));
+  const auto forward = ps.paths_oriented(0, 2);
+  ASSERT_EQ(forward.size(), 1u);
+  EXPECT_EQ(forward[0].src, 0u);
+  EXPECT_EQ(forward[0].dst, 2u);
+  EXPECT_EQ(forward[0].edges, (std::vector<EdgeId>{e01, e12}));
+  const auto backward = ps.paths_oriented(2, 0);
+  EXPECT_EQ(backward[0].src, 2u);
+  EXPECT_EQ(backward[0].edges, (std::vector<EdgeId>{e12, e01}));
+}
+
+TEST(PathSystem, KeepsMultiplicity) {
+  Graph g(2);
+  const EdgeId e = g.add_edge(0, 1);
+  PathSystem ps;
+  ps.add(Path{0, 1, {e}});
+  ps.add(Path{0, 1, {e}});
+  EXPECT_EQ(ps.total_paths(), 2u);
+  EXPECT_EQ(ps.max_sparsity(), 2u);
+  ps.deduplicate();
+  EXPECT_EQ(ps.total_paths(), 1u);
+}
+
+TEST(PathSystem, RejectsTrivialPath) {
+  PathSystem ps;
+  EXPECT_THROW(ps.add(Path{1, 1, {}}), CheckError);
+}
+
+TEST(PathSystem, PairsSortedAndStatistics) {
+  Graph g(4);
+  const EdgeId e01 = g.add_edge(0, 1);
+  const EdgeId e12 = g.add_edge(1, 2);
+  const EdgeId e23 = g.add_edge(2, 3);
+  PathSystem ps;
+  ps.add(Path{2, 3, {e23}});
+  ps.add(Path{0, 1, {e01}});
+  ps.add(Path{0, 2, {e01, e12}});
+  const auto pairs = ps.pairs();
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[0].a, 0u);
+  EXPECT_EQ(pairs[0].b, 1u);
+  EXPECT_EQ(pairs[2].a, 2u);
+  EXPECT_EQ(ps.max_hops(), 2u);
+}
+
+TEST(PathSystem, MergeUnionsMultisets) {
+  Graph g(3);
+  const EdgeId e01 = g.add_edge(0, 1);
+  const EdgeId e12 = g.add_edge(1, 2);
+  PathSystem a, b;
+  a.add(Path{0, 1, {e01}});
+  b.add(Path{0, 1, {e01}});
+  b.add(Path{1, 2, {e12}});
+  const PathSystem m = merge(a, b);
+  EXPECT_EQ(m.total_paths(), 3u);
+  EXPECT_EQ(m.canonical_paths(0, 1).size(), 2u);
+}
+
+TEST(Sampler, ProducesExactlyKPathsPerPair) {
+  const Graph g = make_hypercube(4);
+  const ValiantHypercube routing(g, 4);
+  SampleOptions options;
+  options.k = 5;
+  const PathSystem ps = sample_path_system_all_pairs(routing, options, 1);
+  EXPECT_EQ(ps.num_pairs(), 16u * 15 / 2);
+  for (const VertexPair& pair : ps.pairs()) {
+    EXPECT_EQ(ps.canonical_paths(pair.a, pair.b).size(), 5u);
+  }
+}
+
+TEST(Sampler, DeterministicInSeed) {
+  const Graph g = make_grid(3, 3);
+  const ShortestPathRouting routing(g);
+  SampleOptions options;
+  options.k = 3;
+  const PathSystem a = sample_path_system_all_pairs(routing, options, 42);
+  const PathSystem b = sample_path_system_all_pairs(routing, options, 42);
+  EXPECT_EQ(a.total_paths(), b.total_paths());
+  for (const VertexPair& pair : a.pairs()) {
+    const auto pa = a.canonical_paths(pair.a, pair.b);
+    const auto pb = b.canonical_paths(pair.a, pair.b);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); ++i) EXPECT_EQ(pa[i], pb[i]);
+  }
+}
+
+TEST(Sampler, LambdaScalingUsesMinCut) {
+  // Dumbbell with 3 bridges: portal pair has λ = 3, intra-clique pairs
+  // have λ = clique connectivity (≥ 4 when clamped at 4).
+  const Graph g = make_dumbbell(5, 3);
+  const KspRouting routing(g, 8);
+  SampleOptions options;
+  options.k = 2;
+  options.lambda_cap = 4;
+  const std::vector<VertexPair> pairs{VertexPair::canonical(0, 5),
+                                      VertexPair::canonical(1, 2)};
+  const PathSystem ps = sample_path_system(routing, pairs, options, 3);
+  // Portals 0 and 5: λ capped... the direct bridges give λ(0,5) = 3 +
+  // possible... actually λ(0,5) >= 3 (bridges) and is clamped at 4.
+  EXPECT_GE(ps.canonical_paths(0, 5).size(), 2u * 3);
+  // Intra-clique pair (1,2) in K5: λ = 4 (clamped).
+  EXPECT_EQ(ps.canonical_paths(1, 2).size(), 2u * 4);
+}
+
+TEST(Sampler, ForDemandCoversSupportOnly) {
+  const Graph g = make_grid(4, 4);
+  const ShortestPathRouting routing(g);
+  Demand d;
+  d.add(0, 15, 1.0);
+  d.add(3, 12, 1.0);
+  SampleOptions options;
+  options.k = 2;
+  const PathSystem ps = sample_path_system_for_demand(routing, d, options, 9);
+  EXPECT_EQ(ps.num_pairs(), 2u);
+  EXPECT_TRUE(ps.has_pair(0, 15));
+  EXPECT_TRUE(ps.has_pair(12, 3));
+}
+
+TEST(Router, SingleCommoditySplitsOnDiamond) {
+  Graph g(4);
+  const EdgeId e0 = g.add_edge(0, 1);
+  const EdgeId e1 = g.add_edge(0, 2);
+  const EdgeId e2 = g.add_edge(1, 3);
+  const EdgeId e3 = g.add_edge(2, 3);
+  PathSystem ps;
+  ps.add(Path{0, 3, {e0, e2}});
+  ps.add(Path{0, 3, {e1, e3}});
+  Demand d;
+  d.add(0, 3, 1.0);
+  const SemiObliviousRouter router(g, ps);
+  const FractionalRoute route = router.route_fractional(d);
+  EXPECT_NEAR(route.congestion, 0.5, 1e-6);
+  EXPECT_EQ(route.dilation, 2u);
+}
+
+TEST(Router, ThrowsWithoutCandidatesUnlessFallback) {
+  const Graph g = make_grid(3, 3);
+  PathSystem empty;
+  Demand d;
+  d.add(0, 8, 1.0);
+  {
+    const SemiObliviousRouter router(g, empty);
+    EXPECT_THROW(router.route_fractional(d), CheckError);
+  }
+  {
+    RouterOptions options;
+    options.add_shortest_fallback = true;
+    const SemiObliviousRouter router(g, empty, options);
+    const FractionalRoute route = router.route_fractional(d);
+    EXPECT_NEAR(route.congestion, 1.0, 1e-9);  // single BFS path
+    EXPECT_EQ(route.dilation, 4u);
+  }
+}
+
+TEST(Router, EmptyDemandIsZero) {
+  const Graph g = make_grid(2, 2);
+  PathSystem ps;
+  const SemiObliviousRouter router(g, ps);
+  const FractionalRoute route = router.route_fractional(Demand{});
+  EXPECT_DOUBLE_EQ(route.congestion, 0.0);
+}
+
+TEST(Router, ExactAndMwuBackendsAgree) {
+  const Graph g = make_torus(4, 4);
+  RaeckeOptions racke;
+  racke.seed = 5;
+  const RaeckeRouting oblivious(g, racke);
+  SampleOptions sample;
+  sample.k = 4;
+  const PathSystem ps = sample_path_system_all_pairs(oblivious, sample, 6);
+  Rng rng(7);
+  const Demand d = random_permutation_demand(g, rng);
+
+  RouterOptions exact_options;
+  exact_options.backend = LpBackend::kExact;
+  RouterOptions mwu_options;
+  mwu_options.backend = LpBackend::kMwu;
+  mwu_options.epsilon = 0.05;
+
+  const double exact =
+      SemiObliviousRouter(g, ps, exact_options).route_fractional(d).congestion;
+  const double mwu =
+      SemiObliviousRouter(g, ps, mwu_options).route_fractional(d).congestion;
+  EXPECT_LE(exact, mwu + 1e-6);
+  EXPECT_LE(mwu, exact * 1.06 + 1e-6);
+}
+
+TEST(Router, MoreCandidatesNeverHurt) {
+  // Monotonicity: adding paths can only lower the LP optimum.
+  const Graph g = make_hypercube(4);
+  const ValiantHypercube routing(g, 4);
+  Rng rng(8);
+  const Demand d = random_permutation_demand(g, rng);
+  double prev = std::numeric_limits<double>::infinity();
+  for (std::size_t k : {1u, 2u, 4u, 8u}) {
+    SampleOptions sample;
+    sample.k = k;
+    // Same seed: k-sample is a superset-in-distribution... use nested
+    // construction instead: sample k once and reuse prefixes.
+    const PathSystem ps =
+        sample_path_system_for_demand(routing, d, sample, 99);
+    const double congestion =
+        SemiObliviousRouter(g, ps).route_fractional(d).congestion;
+    // Not strictly monotone across independent samples, but with the same
+    // seed the first k paths coincide (same per-pair stream), so the
+    // candidate sets are nested and the optimum is monotone.
+    EXPECT_LE(congestion, prev + 1e-9);
+    prev = congestion;
+  }
+}
+
+TEST(RouterIntegral, RoutesEveryPacketOnCandidate) {
+  const Graph g = make_hypercube(4);
+  const ValiantHypercube routing(g, 4);
+  Rng rng(9);
+  const Demand d = random_permutation_demand(g, rng);
+  SampleOptions sample;
+  sample.k = 4;
+  const PathSystem ps = sample_path_system_for_demand(routing, d, sample, 10);
+  const SemiObliviousRouter router(g, ps);
+  Rng round_rng(11);
+  const IntegralRoute route = router.route_integral(d, round_rng);
+  EXPECT_EQ(route.packet_paths.size(),
+            static_cast<std::size_t>(std::llround(d.total())));
+  for (const Path& p : route.packet_paths) {
+    EXPECT_TRUE(is_simple_path(g, p));
+  }
+  // Integral congestion within rounding distance of the fractional one.
+  const FractionalRoute frac = router.route_fractional(d);
+  EXPECT_GE(route.congestion + 1e-9, frac.congestion);
+  EXPECT_LE(route.congestion,
+            2 * frac.congestion + 2 * std::log2(g.num_edges()) + 2);
+}
+
+TEST(RouterIntegral, LocalSearchImprovesBadRounding) {
+  // Two commodities, each with a private path and a shared path; rounding
+  // onto the shared path must be fixed by local search.
+  Graph g(4);
+  const EdgeId shared = g.add_edge(0, 1);
+  const EdgeId a = g.add_edge(0, 2);
+  const EdgeId a2 = g.add_edge(2, 1);
+  const EdgeId b = g.add_edge(0, 3);
+  const EdgeId b2 = g.add_edge(3, 1);
+  PathSystem ps;
+  ps.add(Path{0, 1, {shared}});
+  ps.add(Path{0, 1, {a, a2}});
+  ps.add(Path{0, 1, {b, b2}});
+  Demand d;
+  d.add(0, 1, 3.0);
+  const SemiObliviousRouter router(g, ps);
+  Rng rng(12);
+  const IntegralRoute route = router.route_integral(d, rng);
+  // Optimal integral: one packet per route → congestion 1.
+  EXPECT_NEAR(route.congestion, 1.0, 1e-9);
+}
+
+TEST(RouterIntegral, RejectsFractionalDemand) {
+  const Graph g = make_grid(2, 2);
+  PathSystem ps;
+  ps.add(Path{0, 1, {0}});
+  Demand d;
+  d.add(0, 1, 0.5);
+  const SemiObliviousRouter router(g, ps);
+  Rng rng(13);
+  EXPECT_THROW(router.route_integral(d, rng), CheckError);
+}
+
+TEST(Evaluate, RatioAgainstOptIsSane) {
+  const Graph g = make_hypercube(5);
+  const ValiantHypercube routing(g, 5);
+  SampleOptions sample;
+  sample.k = 8;
+  const PathSystem ps = sample_path_system_all_pairs(routing, sample, 14);
+  Rng rng(15);
+  const Demand d = random_permutation_demand(g, rng);
+  const CompetitiveReport report = evaluate_path_system(g, ps, d);
+  EXPECT_GE(report.ratio, 1.0 - 0.1);  // can't beat OPT (mod ε slack)
+  EXPECT_LT(report.ratio, 10.0);       // k = 8 samples are plenty here
+  EXPECT_LE(report.opt_lower, report.opt + 1e-9);
+}
+
+TEST(Evaluate, EmptyDemandRatioOne) {
+  const Graph g = make_grid(2, 2);
+  const CompetitiveReport r = competitive_ratio(g, 0.0, Demand{});
+  EXPECT_DOUBLE_EQ(r.ratio, 1.0);
+}
+
+}  // namespace
+}  // namespace sor

@@ -1,0 +1,189 @@
+// Tests for src/la (Laplacian CG) and the electrical-flow oblivious
+// routing, plus the Gomory–Hu cut tree (property-tested against Dinic).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "flow/gomory_hu.hpp"
+#include "flow/maxflow.hpp"
+#include "graph/generators.hpp"
+#include "graph/search.hpp"
+#include "la/cg.hpp"
+#include "oblivious/electrical.hpp"
+#include "util/rng.hpp"
+
+namespace sor {
+namespace {
+
+TEST(Laplacian, OperatorMatchesDefinition) {
+  // Path 0-1-2 with capacities 2 and 3: L = [[2,-2,0],[-2,5,-3],[0,-3,3]].
+  Graph g(3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 3.0);
+  const LaplacianOperator op(g);
+  std::vector<double> y;
+  op.apply(std::vector<double>{1.0, 0.0, 0.0}, y);
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+  EXPECT_DOUBLE_EQ(y[2], 0.0);
+  op.apply(std::vector<double>{1.0, 1.0, 1.0}, y);  // kernel: L·1 = 0
+  for (double v : y) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(Cg, SolvesPathGraphPotentials) {
+  // Unit flow 0→2 through series resistors 1/2 and 1/3: potential drops
+  // 1/2 and 1/3.
+  Graph g(3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 3.0);
+  const LaplacianOperator op(g);
+  std::vector<double> b{1.0, 0.0, -1.0};
+  const CgResult sol = solve_laplacian(op, b);
+  ASSERT_TRUE(sol.converged);
+  EXPECT_NEAR(sol.x[0] - sol.x[1], 0.5, 1e-7);
+  EXPECT_NEAR(sol.x[1] - sol.x[2], 1.0 / 3, 1e-7);
+}
+
+TEST(Cg, RejectsNonZeroSumRhs) {
+  const Graph g = make_grid(2, 2);
+  const LaplacianOperator op(g);
+  std::vector<double> b{1.0, 0.0, 0.0, 0.0};
+  EXPECT_THROW(solve_laplacian(op, b), CheckError);
+}
+
+TEST(Cg, ResidualIsTiny) {
+  const Graph g = make_random_regular(40, 4, 3);
+  const LaplacianOperator op(g);
+  std::vector<double> b(g.num_vertices(), 0.0);
+  b[0] = 1;
+  b[17] = -1;
+  const CgResult sol = solve_laplacian(op, b);
+  EXPECT_TRUE(sol.converged);
+  EXPECT_LT(sol.relative_residual, 1e-7);
+}
+
+TEST(ElectricalFlow, ConservesAndSplitsParallelPaths) {
+  // Diamond: two symmetric 2-hop routes → half a unit each.
+  Graph g(4);
+  const EdgeId e0 = g.add_edge(0, 1);
+  const EdgeId e1 = g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  const std::vector<double> f = electrical_flow(g, 0, 3);
+  EXPECT_NEAR(std::abs(f[e0]), 0.5, 1e-6);
+  EXPECT_NEAR(std::abs(f[e1]), 0.5, 1e-6);
+  // Conservation at interior vertex 1: in == out.
+  // f[e0] flows 0→1; edge (1,3) flows out.
+  double net = 0;
+  for (const HalfEdge& h : g.neighbors(1)) {
+    const Edge& e = g.edge(h.id);
+    net += (e.u == 1) ? f[h.id] : -f[h.id];
+  }
+  EXPECT_NEAR(net, 0.0, 1e-6);
+}
+
+TEST(ElectricalFlow, SeriesCarriesFullUnit) {
+  Graph g(3);
+  const EdgeId e0 = g.add_edge(0, 1);
+  const EdgeId e1 = g.add_edge(1, 2, 5.0);
+  const std::vector<double> f = electrical_flow(g, 0, 2);
+  EXPECT_NEAR(f[e0], 1.0, 1e-6);
+  EXPECT_NEAR(f[e1], 1.0, 1e-6);
+}
+
+TEST(ElectricalRouting, SamplesValidPaths) {
+  const Graph g = make_torus(4, 4);
+  const ElectricalRouting routing(g);
+  Rng rng(5);
+  for (int i = 0; i < 60; ++i) {
+    Vertex s = 0, t = 0;
+    while (s == t) {
+      s = static_cast<Vertex>(rng.next_u64(g.num_vertices()));
+      t = static_cast<Vertex>(rng.next_u64(g.num_vertices()));
+    }
+    const Path p = routing.sample_path(s, t, rng);
+    EXPECT_TRUE(is_simple_path(g, p));
+    EXPECT_EQ(p.src, s);
+    EXPECT_EQ(p.dst, t);
+  }
+}
+
+TEST(ElectricalRouting, SplitsAcrossDiamond) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  const ElectricalRouting routing(g);
+  Rng rng(6);
+  int via1 = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    const Path p = routing.sample_path(0, 3, rng);
+    ASSERT_EQ(p.hops(), 2u);
+    if (path_vertices(g, p)[1] == 1) ++via1;
+  }
+  EXPECT_NEAR(via1 / static_cast<double>(trials), 0.5, 0.05);
+}
+
+TEST(ElectricalRouting, ReverseOrientationWorks) {
+  const Graph g = make_grid(3, 3);
+  const ElectricalRouting routing(g);
+  Rng rng(7);
+  const Path forward = routing.sample_path(0, 8, rng);
+  const Path backward = routing.sample_path(8, 0, rng);
+  EXPECT_EQ(forward.src, 0u);
+  EXPECT_EQ(backward.src, 8u);
+  EXPECT_TRUE(is_simple_path(g, backward));
+}
+
+TEST(GomoryHu, MatchesDinicOnAllPairs) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const Graph g = make_erdos_renyi(18, 0.3, seed);
+    const GomoryHuTree tree(g);
+    for (Vertex s = 0; s < g.num_vertices(); ++s) {
+      for (Vertex t = s + 1; t < g.num_vertices(); ++t) {
+        EXPECT_NEAR(tree.min_cut(s, t), min_cut_value(g, s, t), 1e-6)
+            << "pair " << s << "," << t << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(GomoryHu, WeightedGraph) {
+  Graph g(4);
+  g.add_edge(0, 1, 5.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(2, 3, 7.0);
+  g.add_edge(0, 3, 1.0);
+  const GomoryHuTree tree(g);
+  for (Vertex s = 0; s < 4; ++s) {
+    for (Vertex t = s + 1; t < 4; ++t) {
+      EXPECT_NEAR(tree.min_cut(s, t), min_cut_value(g, s, t), 1e-9);
+    }
+  }
+}
+
+TEST(GomoryHu, HypercubeUniformConnectivity) {
+  const Graph g = make_hypercube(4);
+  const GomoryHuTree tree(g);
+  Rng rng(9);
+  for (int i = 0; i < 30; ++i) {
+    Vertex s = 0, t = 0;
+    while (s == t) {
+      s = static_cast<Vertex>(rng.next_u64(g.num_vertices()));
+      t = static_cast<Vertex>(rng.next_u64(g.num_vertices()));
+    }
+    EXPECT_DOUBLE_EQ(tree.min_cut(s, t), 4.0);
+  }
+}
+
+TEST(GomoryHu, RejectsSamePair) {
+  const Graph g = make_grid(2, 2);
+  const GomoryHuTree tree(g);
+  EXPECT_THROW(tree.min_cut(1, 1), CheckError);
+}
+
+}  // namespace
+}  // namespace sor

@@ -1,0 +1,127 @@
+// Tests for the paper's small reduction lemmas as algebraic facts of the
+// implementation (Section 5.4): demand-sum subadditivity (Lemma 5.15),
+// the trivial congestion bounds (Lemma 5.16), and the poly-boundedness
+// reduction's scaling step (Lemma 5.17's mechanics).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/router.hpp"
+#include "core/sampler.hpp"
+#include "demand/generators.hpp"
+#include "graph/generators.hpp"
+#include "graph/search.hpp"
+#include "oblivious/valiant.hpp"
+
+namespace sor {
+namespace {
+
+// ---------------------------------------------------------------------
+// Lemma 5.15 (demand-sum): routing D1 + D2 optimally is never worse than
+// superimposing the two separately-optimal routings — and never better
+// than half the max of the parts.
+// ---------------------------------------------------------------------
+TEST(DemandSum, RestrictedOptimumIsSubadditive) {
+  const std::uint32_t dim = 4;
+  const Graph g = make_hypercube(dim);
+  const ValiantHypercube routing(g, dim);
+  Rng rng(1);
+  const Demand d1 = random_permutation_demand(g, rng);
+  const Demand d2 = random_permutation_demand(g, rng);
+  const Demand sum = Demand::sum(d1, d2);
+
+  SampleOptions sample;
+  sample.k = 5;
+  const PathSystem ps = sample_path_system_for_demand(routing, sum, sample, 2);
+  RouterOptions exact;
+  exact.backend = LpBackend::kExact;
+  const SemiObliviousRouter router(g, ps, exact);
+
+  const double c1 = router.route_fractional(d1).congestion;
+  const double c2 = router.route_fractional(d2).congestion;
+  const double c_sum = router.route_fractional(sum).congestion;
+  EXPECT_LE(c_sum, c1 + c2 + 1e-6);              // Lemma 5.15 direction
+  EXPECT_GE(c_sum + 1e-6, std::max(c1, c2));     // monotonicity in demand
+}
+
+// ---------------------------------------------------------------------
+// Lemma 5.16 (bounded congestion): for any routing of D,
+//   |D| · min_hops / (m-scaled volume) <= cong <= |D| (simple paths).
+// We check the implementable forms: cong >= total/(volume) average bound
+// and cong <= |D| on unit-capacity graphs.
+// ---------------------------------------------------------------------
+TEST(BoundedCongestion, TrivialBoundsHold) {
+  const Graph g = make_grid(4, 4);
+  const ValiantHypercube* unused = nullptr;
+  (void)unused;
+  Rng rng(3);
+  const Demand d = uniform_random_pairs(g, 12, 1.0, rng);
+
+  // Route each commodity on a BFS path (any routing works for the bound).
+  EdgeLoad load = zero_load(g);
+  double min_hop_volume = 0;
+  for (const Commodity& c : d.commodities()) {
+    const Path p = shortest_path_hops(g, c.src, c.dst);
+    add_path_load(p, c.amount, load);
+    min_hop_volume += c.amount * static_cast<double>(p.hops());
+  }
+  const double congestion = max_congestion(g, load);
+  // Upper: every pair's demand crosses an edge at most once (simple
+  // paths), so congestion <= |D| on unit capacities.
+  EXPECT_LE(congestion, d.total() + 1e-9);
+  // Lower: max >= average = total load volume / total capacity.
+  double capacity = 0;
+  for (const Edge& e : g.edges()) capacity += e.capacity;
+  EXPECT_GE(congestion + 1e-9, min_hop_volume / capacity);
+}
+
+// ---------------------------------------------------------------------
+// Lemma 5.17 mechanics: congestion is 1-homogeneous in the demand, so
+// scaling a demand to polynomial range and back is lossless.
+// ---------------------------------------------------------------------
+TEST(PolySufficiency, CongestionIsHomogeneous) {
+  const std::uint32_t dim = 4;
+  const Graph g = make_hypercube(dim);
+  const ValiantHypercube routing(g, dim);
+  Rng rng(5);
+  Demand d = random_permutation_demand(g, rng);
+  SampleOptions sample;
+  sample.k = 4;
+  const PathSystem ps = sample_path_system_for_demand(routing, d, sample, 6);
+  RouterOptions exact;
+  exact.backend = LpBackend::kExact;
+  const SemiObliviousRouter router(g, ps, exact);
+
+  const double base = router.route_fractional(d).congestion;
+  for (const double scale : {0.125, 3.0, 1000.0}) {
+    Demand scaled = d;
+    scaled.scale(scale);
+    const double c = router.route_fractional(scaled).congestion;
+    EXPECT_NEAR(c, base * scale, base * scale * 1e-6 + 1e-9)
+        << "scale " << scale;
+  }
+}
+
+// ---------------------------------------------------------------------
+// The §5.4 split step: any demand decomposes into a small part plus a
+// poly-bounded part whose routings superimpose.
+// ---------------------------------------------------------------------
+TEST(PolySufficiency, SplitAndRecombine) {
+  const Graph g = make_grid(4, 4);
+  Rng rng(7);
+  Demand d;
+  d.add(0, 15, 1e-7);  // tiny entry
+  d.add(3, 12, 2.0);   // normal entry
+  // Split at threshold: big carries entries >= 1e-3, small the rest.
+  Demand big, small;
+  for (const auto& [pair, value] : d.entries()) {
+    (value >= 1e-3 ? big : small).add(pair.a, pair.b, value);
+  }
+  EXPECT_DOUBLE_EQ(Demand::sum(big, small).total(), d.total());
+  // Routing the small part anywhere adds at most its size to congestion.
+  EXPECT_LE(small.total(), 1e-6);
+}
+
+}  // namespace
+}  // namespace sor

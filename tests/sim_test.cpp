@@ -1,0 +1,116 @@
+// Tests for the store-and-forward packet simulator: hand-checkable
+// schedules and the O(congestion + dilation) makespan property.
+
+#include <gtest/gtest.h>
+
+#include "core/router.hpp"
+#include "core/sampler.hpp"
+#include "demand/generators.hpp"
+#include "graph/generators.hpp"
+#include "graph/search.hpp"
+#include "oblivious/valiant.hpp"
+#include "sim/packet_sim.hpp"
+
+namespace sor {
+namespace {
+
+TEST(Sim, NoPackets) {
+  const Graph g = make_grid(2, 2);
+  Rng rng(1);
+  const SimResult r = simulate_store_and_forward(g, {}, rng);
+  EXPECT_EQ(r.makespan, 0u);
+}
+
+TEST(Sim, SinglePacketTakesItsHopCount) {
+  Graph g(4);
+  const EdgeId e0 = g.add_edge(0, 1);
+  const EdgeId e1 = g.add_edge(1, 2);
+  const EdgeId e2 = g.add_edge(2, 3);
+  const std::vector<Path> packets{Path{0, 3, {e0, e1, e2}}};
+  Rng rng(2);
+  const SimResult r = simulate_store_and_forward(g, packets, rng);
+  EXPECT_EQ(r.makespan, 3u);
+  EXPECT_EQ(r.dilation, 3u);
+  EXPECT_EQ(r.max_edge_packets, 1u);
+}
+
+TEST(Sim, ContentionSerializesOnSharedEdge) {
+  // 4 packets over the same unit edge: one per step → makespan 4.
+  Graph g(2);
+  const EdgeId e = g.add_edge(0, 1);
+  const std::vector<Path> packets(4, Path{0, 1, {e}});
+  Rng rng(3);
+  const SimResult r = simulate_store_and_forward(g, packets, rng);
+  EXPECT_EQ(r.makespan, 4u);
+  EXPECT_EQ(r.max_edge_packets, 4u);
+}
+
+TEST(Sim, CapacityTwoHalvesTheSerialization) {
+  Graph g(2);
+  const EdgeId e = g.add_edge(0, 1, 2.0);
+  const std::vector<Path> packets(4, Path{0, 1, {e}});
+  Rng rng(4);
+  const SimResult r = simulate_store_and_forward(g, packets, rng);
+  EXPECT_EQ(r.makespan, 2u);
+}
+
+TEST(Sim, EmptyPathPacketsArriveInstantly) {
+  const Graph g = make_grid(2, 2);
+  const std::vector<Path> packets{Path{0, 0, {}}, Path{1, 1, {}}};
+  Rng rng(5);
+  const SimResult r = simulate_store_and_forward(g, packets, rng);
+  EXPECT_EQ(r.makespan, 0u);
+}
+
+TEST(Sim, MakespanBoundedByCongestionPlusDilationRegime) {
+  // LMR-style bound check: makespan should be within a small constant of
+  // C + D for a real routed workload.
+  const std::uint32_t dim = 5;
+  const Graph g = make_hypercube(dim);
+  const ValiantHypercube routing(g, dim);
+  Rng rng(6);
+  const Demand d = random_permutation_demand(g, rng);
+  SampleOptions sample;
+  sample.k = 6;
+  const PathSystem ps = sample_path_system_for_demand(routing, d, sample, 7);
+  const SemiObliviousRouter router(g, ps);
+  Rng round_rng(8);
+  const IntegralRoute route = router.route_integral(d, round_rng);
+
+  Rng sim_rng(9);
+  const SimResult sim =
+      simulate_store_and_forward(g, route.packet_paths, sim_rng);
+  const double cd = static_cast<double>(sim.max_edge_packets) +
+                    static_cast<double>(sim.dilation);
+  EXPECT_GE(static_cast<double>(sim.makespan) + 1e-9,
+            std::max<double>(sim.dilation, 1.0));
+  EXPECT_LE(static_cast<double>(sim.makespan), 4.0 * cd);
+}
+
+TEST(Sim, LowerBoundsHold) {
+  // makespan >= dilation and >= per-edge packet count / rate.
+  Graph g(3);
+  const EdgeId e0 = g.add_edge(0, 1);
+  const EdgeId e1 = g.add_edge(1, 2);
+  std::vector<Path> packets;
+  for (int i = 0; i < 5; ++i) packets.push_back(Path{0, 2, {e0, e1}});
+  Rng rng(10);
+  const SimResult r = simulate_store_and_forward(g, packets, rng);
+  EXPECT_GE(r.makespan, 5u);      // 5 packets through a unit edge
+  EXPECT_GE(r.makespan, 2u);      // dilation
+  EXPECT_LE(r.makespan, 5u + 2u); // pipelining
+}
+
+TEST(Sim, DeterministicGivenRng) {
+  const Graph g = make_grid(3, 3);
+  std::vector<Path> packets;
+  for (int i = 0; i < 6; ++i) {
+    packets.push_back(shortest_path_hops(g, 0, 8));
+  }
+  Rng a(11), b(11);
+  EXPECT_EQ(simulate_store_and_forward(g, packets, a).makespan,
+            simulate_store_and_forward(g, packets, b).makespan);
+}
+
+}  // namespace
+}  // namespace sor

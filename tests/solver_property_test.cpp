@@ -1,0 +1,205 @@
+// Cross-solver property tests: the strongest correctness evidence in the
+// suite. On graphs small enough to ENUMERATE every simple path, the
+// restricted LP over the full path set must equal the Garg–Könemann MCF
+// optimum (two completely independent solver stacks). Plus randomized
+// simplex properties (feasibility, optimality versus sampled feasible
+// points) and MWU/exact agreement on random instances.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "demand/generators.hpp"
+#include "flow/mcf.hpp"
+#include "graph/generators.hpp"
+#include "lp/path_lp.hpp"
+#include "lp/simplex.hpp"
+#include "util/rng.hpp"
+
+namespace sor {
+namespace {
+
+/// All simple s→t paths by DFS (graphs here are tiny).
+std::vector<Path> enumerate_simple_paths(const Graph& g, Vertex s, Vertex t,
+                                         std::size_t cap = 5000) {
+  std::vector<Path> out;
+  std::vector<bool> visited(g.num_vertices(), false);
+  Path current{s, t, {}};
+  std::function<void(Vertex)> dfs = [&](Vertex at) {
+    if (out.size() >= cap) return;
+    if (at == t) {
+      out.push_back(current);
+      return;
+    }
+    visited[at] = true;
+    for (const HalfEdge& h : g.neighbors(at)) {
+      if (visited[h.to]) continue;
+      current.edges.push_back(h.id);
+      dfs(h.to);
+      current.edges.pop_back();
+    }
+    visited[at] = false;
+  };
+  dfs(s);
+  return out;
+}
+
+class FullPathLpVsMcf : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FullPathLpVsMcf, AgreeOnRandomSmallInstances) {
+  const std::uint64_t seed = GetParam();
+  // Small random graph + random demand.
+  const Graph g = make_erdos_renyi(8, 0.45, seed);
+  Rng rng(seed * 13 + 1);
+  Demand demand;
+  for (int i = 0; i < 4; ++i) {
+    Vertex a = 0, b = 0;
+    while (a == b) {
+      a = static_cast<Vertex>(rng.next_u64(g.num_vertices()));
+      b = static_cast<Vertex>(rng.next_u64(g.num_vertices()));
+    }
+    demand.add(a, b, 1.0 + rng.next_double() * 3.0);
+  }
+
+  // Stack 1: restricted exact LP over EVERY simple path.
+  RestrictedProblem problem;
+  problem.graph = &g;
+  for (const Commodity& c : demand.commodities()) {
+    RestrictedCommodity rc;
+    rc.demand = c.amount;
+    rc.candidates = enumerate_simple_paths(g, c.src, c.dst);
+    ASSERT_FALSE(rc.candidates.empty());
+    problem.commodities.push_back(std::move(rc));
+  }
+  const RestrictedSolution exact = solve_restricted_exact(problem);
+
+  // Stack 2: Garg–Könemann concurrent flow.
+  McfOptions options;
+  options.epsilon = 0.03;
+  const McfResult mcf =
+      min_congestion_routing(g, demand.commodities(), options);
+
+  // The full-path LP IS the true OPT; the MCF brackets it within 1±ε.
+  EXPECT_LE(mcf.lower_bound, exact.congestion * 1.001 + 1e-9);
+  EXPECT_GE(mcf.congestion * 1.001 + 1e-9, exact.congestion);
+  EXPECT_LE(mcf.congestion, exact.congestion * (1 + options.epsilon) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FullPathLpVsMcf,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+class RandomLpProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomLpProperty, SimplexBeatsSampledFeasiblePoints) {
+  // Construct a random feasible bounded LP: A random nonnegative, b
+  // chosen so x0 is strictly feasible; minimize a random c with an added
+  // "box" row keeping it bounded. The simplex optimum must be feasible
+  // and no worse than the value at any sampled feasible point.
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const std::size_t n = 4;
+  const std::size_t m = 5;
+
+  LpProblem lp;
+  lp.objective.resize(n);
+  for (double& c : lp.objective) c = rng.next_double(-1.0, 1.0);
+  std::vector<double> x0(n);
+  for (double& x : x0) x = rng.next_double(0.2, 2.0);
+
+  for (std::size_t r = 0; r < m; ++r) {
+    LpConstraint row;
+    row.coefficients.resize(n);
+    double lhs_at_x0 = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      row.coefficients[j] = rng.next_double(0.0, 1.0);
+      lhs_at_x0 += row.coefficients[j] * x0[j];
+    }
+    row.sense = ConstraintSense::kLe;
+    row.rhs = lhs_at_x0 + rng.next_double(0.1, 1.0);
+    lp.constraints.push_back(std::move(row));
+  }
+  {
+    // Bounding box: Σ x <= big.
+    LpConstraint box;
+    box.coefficients.assign(n, 1.0);
+    box.sense = ConstraintSense::kLe;
+    box.rhs = 50.0;
+    lp.constraints.push_back(std::move(box));
+  }
+
+  const LpSolution solution = solve_lp(lp);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal) << "seed " << seed;
+
+  // Feasibility of the simplex solution.
+  for (const LpConstraint& row : lp.constraints) {
+    double lhs = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      lhs += row.coefficients[j] * solution.x[j];
+      EXPECT_GE(solution.x[j], -1e-9);
+    }
+    EXPECT_LE(lhs, row.rhs + 1e-7);
+  }
+
+  // Optimality against random feasible points (rejection sampling).
+  int checked = 0;
+  for (int trial = 0; trial < 3000 && checked < 50; ++trial) {
+    std::vector<double> x(n);
+    for (double& v : x) v = rng.next_double(0.0, 3.0);
+    bool feasible = true;
+    for (const LpConstraint& row : lp.constraints) {
+      double lhs = 0;
+      for (std::size_t j = 0; j < n; ++j) lhs += row.coefficients[j] * x[j];
+      if (lhs > row.rhs) {
+        feasible = false;
+        break;
+      }
+    }
+    if (!feasible) continue;
+    ++checked;
+    double value = 0;
+    for (std::size_t j = 0; j < n; ++j) value += lp.objective[j] * x[j];
+    EXPECT_GE(value + 1e-7, solution.objective_value) << "seed " << seed;
+  }
+  EXPECT_GT(checked, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLpProperty,
+                         ::testing::Values(10, 11, 12, 13, 14, 15, 16, 17));
+
+class MwuExactAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MwuExactAgreement, RandomRestrictedInstances) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = make_erdos_renyi(10, 0.4, seed + 100);
+  Rng rng(seed);
+
+  RestrictedProblem problem;
+  problem.graph = &g;
+  for (int j = 0; j < 5; ++j) {
+    Vertex a = 0, b = 0;
+    while (a == b) {
+      a = static_cast<Vertex>(rng.next_u64(g.num_vertices()));
+      b = static_cast<Vertex>(rng.next_u64(g.num_vertices()));
+    }
+    auto paths = enumerate_simple_paths(g, a, b, 6);
+    if (paths.empty()) continue;
+    RestrictedCommodity rc;
+    rc.demand = 0.5 + rng.next_double() * 2.0;
+    rc.candidates = std::move(paths);
+    problem.commodities.push_back(std::move(rc));
+  }
+  if (problem.commodities.empty()) GTEST_SKIP();
+
+  const RestrictedSolution exact = solve_restricted_exact(problem);
+  RestrictedMwuOptions options;
+  options.epsilon = 0.04;
+  const RestrictedSolution mwu = solve_restricted_mwu(problem, options);
+  EXPECT_GE(mwu.congestion + 1e-9, exact.congestion * 0.999);
+  EXPECT_LE(mwu.congestion, exact.congestion * 1.05 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MwuExactAgreement,
+                         ::testing::Values(20, 21, 22, 23, 24, 25));
+
+}  // namespace
+}  // namespace sor

@@ -1,0 +1,290 @@
+// Unit and property tests for src/tree: FRT HST embeddings (laminarity,
+// leaf coverage, routing validity, expected-stretch behaviour) and the
+// Räcke MWU tree ensemble (mixture load certificate, sane competitiveness
+// on structured graphs).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "graph/generators.hpp"
+#include "graph/search.hpp"
+#include "tree/frt.hpp"
+#include "tree/racke.hpp"
+#include "util/rng.hpp"
+
+namespace sor {
+namespace {
+
+std::vector<double> unit_lengths(const Graph& g) {
+  return std::vector<double>(g.num_edges(), 1.0);
+}
+
+TEST(Frt, LeavesCoverAllVertices) {
+  const Graph g = make_grid(4, 4);
+  Rng rng(1);
+  const HstTree tree = build_frt_tree(g, unit_lengths(g), rng);
+  std::set<HstNodeId> leaf_ids;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const HstNodeId leaf = tree.leaf_of(v);
+    EXPECT_EQ(tree.node(leaf).members.size(), 1u);
+    EXPECT_EQ(tree.node(leaf).members[0], v);
+    EXPECT_EQ(tree.node(leaf).center, v);
+    leaf_ids.insert(leaf);
+  }
+  EXPECT_EQ(leaf_ids.size(), g.num_vertices());
+}
+
+TEST(Frt, LaminarStructure) {
+  const Graph g = make_torus(3, 5);
+  Rng rng(2);
+  const HstTree tree = build_frt_tree(g, unit_lengths(g), rng);
+  // Children partition the parent's members.
+  for (HstNodeId id = 0; id < tree.nodes().size(); ++id) {
+    const HstNode& node = tree.node(id);
+    if (node.children.empty()) continue;
+    std::multiset<Vertex> from_children;
+    for (HstNodeId c : node.children) {
+      EXPECT_EQ(tree.node(c).parent, id);
+      EXPECT_LT(tree.node(c).level, node.level);
+      for (Vertex v : tree.node(c).members) from_children.insert(v);
+    }
+    std::multiset<Vertex> own(node.members.begin(), node.members.end());
+    EXPECT_EQ(from_children, own);
+  }
+}
+
+TEST(Frt, RootContainsEverything) {
+  const Graph g = make_hypercube(4);
+  Rng rng(3);
+  const HstTree tree = build_frt_tree(g, unit_lengths(g), rng);
+  EXPECT_EQ(tree.node(tree.root()).members.size(), g.num_vertices());
+}
+
+TEST(Frt, CutCapacitiesAreCorrect) {
+  const Graph g = make_complete(5);  // cut of a size-s set: s·(5-s)
+  Rng rng(4);
+  const HstTree tree = build_frt_tree(g, unit_lengths(g), rng);
+  for (const HstNode& node : tree.nodes()) {
+    const auto s = static_cast<double>(node.members.size());
+    EXPECT_DOUBLE_EQ(node.cut_capacity, s * (5 - s));
+  }
+}
+
+TEST(Frt, RoutesAreValidSimplePaths) {
+  const Graph g = make_erdos_renyi(30, 0.2, 11);
+  Rng rng(5);
+  const HstTree tree = build_frt_tree(g, unit_lengths(g), rng);
+  Rng pick(6);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto s = static_cast<Vertex>(pick.next_u64(g.num_vertices()));
+    const auto t = static_cast<Vertex>(pick.next_u64(g.num_vertices()));
+    const Path p = tree.route(g, s, t);
+    EXPECT_EQ(p.src, s);
+    EXPECT_EQ(p.dst, t);
+    EXPECT_TRUE(is_simple_path(g, p));
+    if (s == t) {
+      EXPECT_EQ(p.hops(), 0u);
+    }
+  }
+}
+
+TEST(Frt, RouteIsDeterministic) {
+  const Graph g = make_grid(5, 5);
+  Rng rng(7);
+  const HstTree tree = build_frt_tree(g, unit_lengths(g), rng);
+  EXPECT_EQ(tree.route(g, 0, 24), tree.route(g, 0, 24));
+}
+
+TEST(Frt, ExpectedStretchIsLogarithmicOnGrid) {
+  // Property test: averaged over trees and pairs, FRT distance stretch
+  // should be O(log n) — we assert a generous constant.
+  const Graph g = make_grid(6, 6);
+  const auto lengths = unit_lengths(g);
+  Rng rng(8);
+  double total_stretch = 0;
+  int count = 0;
+  for (int trees = 0; trees < 8; ++trees) {
+    Rng tree_rng = rng.split(trees);
+    const HstTree tree = build_frt_tree(g, lengths, tree_rng);
+    for (Vertex s = 0; s < g.num_vertices(); s += 7) {
+      const SpTree sp = bfs(g, s);
+      for (Vertex t = 0; t < g.num_vertices(); t += 5) {
+        if (s == t) continue;
+        const Path p = tree.route(g, s, t);
+        total_stretch +=
+            static_cast<double>(p.hops()) / static_cast<double>(sp.hops[t]);
+        ++count;
+      }
+    }
+  }
+  const double avg_stretch = total_stretch / count;
+  // log2(36) ≈ 5.2; allow a healthy constant.
+  EXPECT_LT(avg_stretch, 16.0);
+  EXPECT_GE(avg_stretch, 1.0);
+}
+
+TEST(Frt, TreeHopsPositiveForDistinctVertices) {
+  const Graph g = make_hypercube(3);
+  Rng rng(9);
+  const HstTree tree = build_frt_tree(g, unit_lengths(g), rng);
+  EXPECT_GT(tree.tree_hops(0, 7), 0u);
+  EXPECT_EQ(tree.tree_hops(3, 3), 0u);
+}
+
+TEST(Frt, WorksWithNonUniformLengths) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(0, 3);
+  const std::vector<double> lengths{1.0, 10.0, 1.0, 0.5};
+  Rng rng(10);
+  const HstTree tree = build_frt_tree(g, lengths, rng);
+  const Path p = tree.route(g, 0, 3);
+  EXPECT_TRUE(is_simple_path(g, p));
+}
+
+TEST(Frt, RejectsNonPositiveLengths) {
+  const Graph g = make_grid(2, 2);
+  std::vector<double> lengths(g.num_edges(), 1.0);
+  lengths[0] = 0.0;
+  Rng rng(11);
+  EXPECT_THROW(build_frt_tree(g, lengths, rng), CheckError);
+}
+
+TEST(Racke, BuildsRequestedTreeCount) {
+  const Graph g = make_grid(4, 4);
+  RaeckeOptions options;
+  options.num_trees = 5;
+  options.seed = 1;
+  const RaeckeEnsemble ensemble(g, options);
+  EXPECT_EQ(ensemble.num_trees(), 5u);
+  double total_weight = 0;
+  for (std::size_t i = 0; i < ensemble.num_trees(); ++i) {
+    total_weight += ensemble.tree_weight(i);
+  }
+  EXPECT_NEAR(total_weight, 1.0, 1e-9);
+}
+
+TEST(Racke, AutoTreeCountScalesWithLogN) {
+  const Graph g = make_hypercube(4);  // n = 16
+  const RaeckeEnsemble ensemble(g, {});
+  EXPECT_EQ(ensemble.num_trees(), 2u * 4 + 4);
+}
+
+TEST(Racke, SampledPathsAreValid) {
+  const Graph g = make_torus(4, 4);
+  RaeckeOptions options;
+  options.seed = 3;
+  const RaeckeEnsemble ensemble(g, options);
+  Rng rng(4);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto s = static_cast<Vertex>(rng.next_u64(g.num_vertices()));
+    const auto t = static_cast<Vertex>(rng.next_u64(g.num_vertices()));
+    if (s == t) continue;
+    const Path p = ensemble.sample_path(s, t, rng);
+    EXPECT_TRUE(is_simple_path(g, p));
+    EXPECT_EQ(p.src, s);
+    EXPECT_EQ(p.dst, t);
+  }
+}
+
+TEST(Racke, MixtureLoadCertificateIsModest) {
+  // The mixture max relative load bounds the competitive ratio against
+  // any feasible demand; on small structured graphs it should be far
+  // below the trivial O(m) bound and in the polylog range.
+  for (const auto* name : {"grid", "hypercube", "expander"}) {
+    Graph g = std::string(name) == "grid"      ? make_grid(5, 5)
+              : std::string(name) == "hypercube" ? make_hypercube(5)
+                                                 : make_random_regular(32, 4, 5);
+    RaeckeOptions options;
+    options.seed = 17;
+    const RaeckeEnsemble ensemble(g, options);
+    const double certificate = ensemble.mixture_max_relative_load();
+    EXPECT_GE(certificate, 1.0) << name;
+    EXPECT_LT(certificate,
+              6.0 * std::log2(static_cast<double>(g.num_vertices())) + 20)
+        << name;
+  }
+}
+
+TEST(Racke, LoadFeedbackDiversifiesTrees) {
+  // With MWU feedback, later trees should not all reuse the same bridge:
+  // on a dumbbell the bridge edges' mixture load stays bounded by ~1 plus
+  // slack rather than #trees.
+  const Graph g = make_dumbbell(6, 3);
+  RaeckeOptions options;
+  options.seed = 23;
+  options.num_trees = 12;
+  const RaeckeEnsemble ensemble(g, options);
+  // Bridges are the only way across; relative load there is forced to ~
+  // cut/3 per tree — but the mixture should not exceed that by much.
+  const double certificate = ensemble.mixture_max_relative_load();
+  EXPECT_LT(certificate, 40.0);
+}
+
+TEST(Racke, OptimizedWeightsNeverWorseThanUniform) {
+  for (std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    const Graph g = make_erdos_renyi(40, 0.15, seed);
+    RaeckeOptions uniform;
+    uniform.seed = seed;
+    uniform.num_trees = 10;
+    RaeckeOptions optimized = uniform;
+    optimized.optimize_weights = true;
+    const RaeckeEnsemble base(g, uniform);
+    const RaeckeEnsemble tuned(g, optimized);
+    EXPECT_LE(tuned.mixture_max_relative_load(),
+              base.mixture_max_relative_load() * 1.02 + 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(Racke, OptimizedWeightsFormDistribution) {
+  const Graph g = make_grid(4, 4);
+  RaeckeOptions options;
+  options.seed = 9;
+  options.num_trees = 6;
+  options.optimize_weights = true;
+  const RaeckeEnsemble ensemble(g, options);
+  double total = 0;
+  for (std::size_t i = 0; i < ensemble.num_trees(); ++i) {
+    EXPECT_GE(ensemble.tree_weight(i), 0.0);
+    total += ensemble.tree_weight(i);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(MixtureGame, SolvesHandComputableGame) {
+  // Two "trees", two "edges": loads T0 = (1, 0), T1 = (0, 1). The optimal
+  // mixture is (1/2, 1/2) with value 1/2.
+  const std::vector<std::vector<double>> loads{{1.0, 0.0}, {0.0, 1.0}};
+  const auto w = optimize_mixture_weights(loads, 2000);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_NEAR(w[0], 0.5, 0.1);
+  const double value = std::max(w[0] * 1.0, w[1] * 1.0);
+  EXPECT_LT(value, 0.62);
+}
+
+TEST(MixtureGame, DominatedTreeGetsNoWeight) {
+  // T1 dominates T0 on every edge → all weight on T1.
+  const std::vector<std::vector<double>> loads{{2.0, 2.0}, {1.0, 1.0}};
+  const auto w = optimize_mixture_weights(loads, 500);
+  EXPECT_GT(w[1], 0.99);
+}
+
+TEST(TreeRelativeLoad, AccountsCutCapacity) {
+  // Path graph 0-1-2: any tree must charge the middle edges with the cut
+  // capacities of the clusters they separate.
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  Rng rng(29);
+  const HstTree tree = build_frt_tree(g, unit_lengths(g), rng);
+  const auto rload = tree_relative_load(g, tree);
+  for (double r : rload) EXPECT_GE(r, 1.0);  // every edge carries >= its own cut share
+}
+
+}  // namespace
+}  // namespace sor
