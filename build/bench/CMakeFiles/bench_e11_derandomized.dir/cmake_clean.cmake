@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_derandomized.dir/bench_e11_derandomized.cpp.o"
+  "CMakeFiles/bench_e11_derandomized.dir/bench_e11_derandomized.cpp.o.d"
+  "bench_e11_derandomized"
+  "bench_e11_derandomized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_derandomized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

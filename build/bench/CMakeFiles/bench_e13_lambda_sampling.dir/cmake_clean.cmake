@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_lambda_sampling.dir/bench_e13_lambda_sampling.cpp.o"
+  "CMakeFiles/bench_e13_lambda_sampling.dir/bench_e13_lambda_sampling.cpp.o.d"
+  "bench_e13_lambda_sampling"
+  "bench_e13_lambda_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_lambda_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_oblivious_price.dir/bench_e14_oblivious_price.cpp.o"
+  "CMakeFiles/bench_e14_oblivious_price.dir/bench_e14_oblivious_price.cpp.o.d"
+  "bench_e14_oblivious_price"
+  "bench_e14_oblivious_price.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_oblivious_price.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_compact.dir/bench_e15_compact.cpp.o"
+  "CMakeFiles/bench_e15_compact.dir/bench_e15_compact.cpp.o.d"
+  "bench_e15_compact"
+  "bench_e15_compact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_compact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_sparsity_tradeoff.dir/bench_e1_sparsity_tradeoff.cpp.o"
+  "CMakeFiles/bench_e1_sparsity_tradeoff.dir/bench_e1_sparsity_tradeoff.cpp.o.d"
+  "bench_e1_sparsity_tradeoff"
+  "bench_e1_sparsity_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_sparsity_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

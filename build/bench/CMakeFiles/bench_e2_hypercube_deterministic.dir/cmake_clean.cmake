@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_hypercube_deterministic.dir/bench_e2_hypercube_deterministic.cpp.o"
+  "CMakeFiles/bench_e2_hypercube_deterministic.dir/bench_e2_hypercube_deterministic.cpp.o.d"
+  "bench_e2_hypercube_deterministic"
+  "bench_e2_hypercube_deterministic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_hypercube_deterministic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_completion_time.dir/bench_e5_completion_time.cpp.o"
+  "CMakeFiles/bench_e5_completion_time.dir/bench_e5_completion_time.cpp.o.d"
+  "bench_e5_completion_time"
+  "bench_e5_completion_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_completion_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

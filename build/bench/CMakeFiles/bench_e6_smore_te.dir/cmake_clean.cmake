@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_smore_te.dir/bench_e6_smore_te.cpp.o"
+  "CMakeFiles/bench_e6_smore_te.dir/bench_e6_smore_te.cpp.o.d"
+  "bench_e6_smore_te"
+  "bench_e6_smore_te.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_smore_te.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_concentration.dir/bench_e7_concentration.cpp.o"
+  "CMakeFiles/bench_e7_concentration.dir/bench_e7_concentration.cpp.o.d"
+  "bench_e7_concentration"
+  "bench_e7_concentration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_concentration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_ablation_source.dir/bench_e8_ablation_source.cpp.o"
+  "CMakeFiles/bench_e8_ablation_source.dir/bench_e8_ablation_source.cpp.o.d"
+  "bench_e8_ablation_source"
+  "bench_e8_ablation_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_ablation_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_integral_rounding.dir/bench_e9_integral_rounding.cpp.o"
+  "CMakeFiles/bench_e9_integral_rounding.dir/bench_e9_integral_rounding.cpp.o.d"
+  "bench_e9_integral_rounding"
+  "bench_e9_integral_rounding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_integral_rounding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

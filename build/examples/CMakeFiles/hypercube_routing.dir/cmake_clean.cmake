@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypercube_routing.dir/hypercube_routing.cpp.o"
+  "CMakeFiles/hypercube_routing.dir/hypercube_routing.cpp.o.d"
+  "hypercube_routing"
+  "hypercube_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypercube_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

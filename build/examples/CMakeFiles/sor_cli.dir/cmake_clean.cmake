@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sor_cli.dir/sor_cli.cpp.o"
+  "CMakeFiles/sor_cli.dir/sor_cli.cpp.o.d"
+  "sor_cli"
+  "sor_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sor_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

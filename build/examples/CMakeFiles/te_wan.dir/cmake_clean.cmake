@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/te_wan.dir/te_wan.cpp.o"
+  "CMakeFiles/te_wan.dir/te_wan.cpp.o.d"
+  "te_wan"
+  "te_wan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/te_wan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sor_compact.dir/compact_scheme.cpp.o"
+  "CMakeFiles/sor_compact.dir/compact_scheme.cpp.o.d"
+  "CMakeFiles/sor_compact.dir/interval_tree.cpp.o"
+  "CMakeFiles/sor_compact.dir/interval_tree.cpp.o.d"
+  "libsor_compact.a"
+  "libsor_compact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sor_compact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

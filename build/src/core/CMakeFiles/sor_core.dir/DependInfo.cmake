@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/completion.cpp" "src/core/CMakeFiles/sor_core.dir/completion.cpp.o" "gcc" "src/core/CMakeFiles/sor_core.dir/completion.cpp.o.d"
+  "/root/repo/src/core/derandomize.cpp" "src/core/CMakeFiles/sor_core.dir/derandomize.cpp.o" "gcc" "src/core/CMakeFiles/sor_core.dir/derandomize.cpp.o.d"
+  "/root/repo/src/core/evaluate.cpp" "src/core/CMakeFiles/sor_core.dir/evaluate.cpp.o" "gcc" "src/core/CMakeFiles/sor_core.dir/evaluate.cpp.o.d"
+  "/root/repo/src/core/failures.cpp" "src/core/CMakeFiles/sor_core.dir/failures.cpp.o" "gcc" "src/core/CMakeFiles/sor_core.dir/failures.cpp.o.d"
+  "/root/repo/src/core/oracle.cpp" "src/core/CMakeFiles/sor_core.dir/oracle.cpp.o" "gcc" "src/core/CMakeFiles/sor_core.dir/oracle.cpp.o.d"
+  "/root/repo/src/core/path_system.cpp" "src/core/CMakeFiles/sor_core.dir/path_system.cpp.o" "gcc" "src/core/CMakeFiles/sor_core.dir/path_system.cpp.o.d"
+  "/root/repo/src/core/router.cpp" "src/core/CMakeFiles/sor_core.dir/router.cpp.o" "gcc" "src/core/CMakeFiles/sor_core.dir/router.cpp.o.d"
+  "/root/repo/src/core/sampler.cpp" "src/core/CMakeFiles/sor_core.dir/sampler.cpp.o" "gcc" "src/core/CMakeFiles/sor_core.dir/sampler.cpp.o.d"
+  "/root/repo/src/core/special.cpp" "src/core/CMakeFiles/sor_core.dir/special.cpp.o" "gcc" "src/core/CMakeFiles/sor_core.dir/special.cpp.o.d"
+  "/root/repo/src/core/weak_routing.cpp" "src/core/CMakeFiles/sor_core.dir/weak_routing.cpp.o" "gcc" "src/core/CMakeFiles/sor_core.dir/weak_routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/oblivious/CMakeFiles/sor_oblivious.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/sor_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/sor_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/demand/CMakeFiles/sor_demand.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sor_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sor_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/sor_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/sor_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

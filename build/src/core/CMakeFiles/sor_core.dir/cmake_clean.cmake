@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sor_core.dir/completion.cpp.o"
+  "CMakeFiles/sor_core.dir/completion.cpp.o.d"
+  "CMakeFiles/sor_core.dir/derandomize.cpp.o"
+  "CMakeFiles/sor_core.dir/derandomize.cpp.o.d"
+  "CMakeFiles/sor_core.dir/evaluate.cpp.o"
+  "CMakeFiles/sor_core.dir/evaluate.cpp.o.d"
+  "CMakeFiles/sor_core.dir/failures.cpp.o"
+  "CMakeFiles/sor_core.dir/failures.cpp.o.d"
+  "CMakeFiles/sor_core.dir/oracle.cpp.o"
+  "CMakeFiles/sor_core.dir/oracle.cpp.o.d"
+  "CMakeFiles/sor_core.dir/path_system.cpp.o"
+  "CMakeFiles/sor_core.dir/path_system.cpp.o.d"
+  "CMakeFiles/sor_core.dir/router.cpp.o"
+  "CMakeFiles/sor_core.dir/router.cpp.o.d"
+  "CMakeFiles/sor_core.dir/sampler.cpp.o"
+  "CMakeFiles/sor_core.dir/sampler.cpp.o.d"
+  "CMakeFiles/sor_core.dir/special.cpp.o"
+  "CMakeFiles/sor_core.dir/special.cpp.o.d"
+  "CMakeFiles/sor_core.dir/weak_routing.cpp.o"
+  "CMakeFiles/sor_core.dir/weak_routing.cpp.o.d"
+  "libsor_core.a"
+  "libsor_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sor_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

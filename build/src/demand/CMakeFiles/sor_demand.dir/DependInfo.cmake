@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/demand/cut_bound.cpp" "src/demand/CMakeFiles/sor_demand.dir/cut_bound.cpp.o" "gcc" "src/demand/CMakeFiles/sor_demand.dir/cut_bound.cpp.o.d"
+  "/root/repo/src/demand/demand.cpp" "src/demand/CMakeFiles/sor_demand.dir/demand.cpp.o" "gcc" "src/demand/CMakeFiles/sor_demand.dir/demand.cpp.o.d"
+  "/root/repo/src/demand/generators.cpp" "src/demand/CMakeFiles/sor_demand.dir/generators.cpp.o" "gcc" "src/demand/CMakeFiles/sor_demand.dir/generators.cpp.o.d"
+  "/root/repo/src/demand/io.cpp" "src/demand/CMakeFiles/sor_demand.dir/io.cpp.o" "gcc" "src/demand/CMakeFiles/sor_demand.dir/io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/sor_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/sor_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sor_demand.dir/cut_bound.cpp.o"
+  "CMakeFiles/sor_demand.dir/cut_bound.cpp.o.d"
+  "CMakeFiles/sor_demand.dir/demand.cpp.o"
+  "CMakeFiles/sor_demand.dir/demand.cpp.o.d"
+  "CMakeFiles/sor_demand.dir/generators.cpp.o"
+  "CMakeFiles/sor_demand.dir/generators.cpp.o.d"
+  "CMakeFiles/sor_demand.dir/io.cpp.o"
+  "CMakeFiles/sor_demand.dir/io.cpp.o.d"
+  "libsor_demand.a"
+  "libsor_demand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sor_demand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

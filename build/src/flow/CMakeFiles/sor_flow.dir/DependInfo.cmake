@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/congestion.cpp" "src/flow/CMakeFiles/sor_flow.dir/congestion.cpp.o" "gcc" "src/flow/CMakeFiles/sor_flow.dir/congestion.cpp.o.d"
+  "/root/repo/src/flow/gomory_hu.cpp" "src/flow/CMakeFiles/sor_flow.dir/gomory_hu.cpp.o" "gcc" "src/flow/CMakeFiles/sor_flow.dir/gomory_hu.cpp.o.d"
+  "/root/repo/src/flow/matching.cpp" "src/flow/CMakeFiles/sor_flow.dir/matching.cpp.o" "gcc" "src/flow/CMakeFiles/sor_flow.dir/matching.cpp.o.d"
+  "/root/repo/src/flow/maxflow.cpp" "src/flow/CMakeFiles/sor_flow.dir/maxflow.cpp.o" "gcc" "src/flow/CMakeFiles/sor_flow.dir/maxflow.cpp.o.d"
+  "/root/repo/src/flow/mcf.cpp" "src/flow/CMakeFiles/sor_flow.dir/mcf.cpp.o" "gcc" "src/flow/CMakeFiles/sor_flow.dir/mcf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/sor_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sor_flow.dir/congestion.cpp.o"
+  "CMakeFiles/sor_flow.dir/congestion.cpp.o.d"
+  "CMakeFiles/sor_flow.dir/gomory_hu.cpp.o"
+  "CMakeFiles/sor_flow.dir/gomory_hu.cpp.o.d"
+  "CMakeFiles/sor_flow.dir/matching.cpp.o"
+  "CMakeFiles/sor_flow.dir/matching.cpp.o.d"
+  "CMakeFiles/sor_flow.dir/maxflow.cpp.o"
+  "CMakeFiles/sor_flow.dir/maxflow.cpp.o.d"
+  "CMakeFiles/sor_flow.dir/mcf.cpp.o"
+  "CMakeFiles/sor_flow.dir/mcf.cpp.o.d"
+  "libsor_flow.a"
+  "libsor_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sor_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

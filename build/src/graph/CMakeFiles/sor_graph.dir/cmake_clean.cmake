@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sor_graph.dir/generators.cpp.o"
+  "CMakeFiles/sor_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/sor_graph.dir/graph.cpp.o"
+  "CMakeFiles/sor_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/sor_graph.dir/io.cpp.o"
+  "CMakeFiles/sor_graph.dir/io.cpp.o.d"
+  "CMakeFiles/sor_graph.dir/path.cpp.o"
+  "CMakeFiles/sor_graph.dir/path.cpp.o.d"
+  "CMakeFiles/sor_graph.dir/search.cpp.o"
+  "CMakeFiles/sor_graph.dir/search.cpp.o.d"
+  "libsor_graph.a"
+  "libsor_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sor_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

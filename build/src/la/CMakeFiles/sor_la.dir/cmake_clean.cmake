@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sor_la.dir/cg.cpp.o"
+  "CMakeFiles/sor_la.dir/cg.cpp.o.d"
+  "libsor_la.a"
+  "libsor_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sor_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

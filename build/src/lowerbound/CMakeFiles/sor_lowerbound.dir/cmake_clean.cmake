@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sor_lowerbound.dir/adversary.cpp.o"
+  "CMakeFiles/sor_lowerbound.dir/adversary.cpp.o.d"
+  "libsor_lowerbound.a"
+  "libsor_lowerbound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sor_lowerbound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sor_lp.dir/path_lp.cpp.o"
+  "CMakeFiles/sor_lp.dir/path_lp.cpp.o.d"
+  "CMakeFiles/sor_lp.dir/simplex.cpp.o"
+  "CMakeFiles/sor_lp.dir/simplex.cpp.o.d"
+  "libsor_lp.a"
+  "libsor_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sor_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oblivious/adversary.cpp" "src/oblivious/CMakeFiles/sor_oblivious.dir/adversary.cpp.o" "gcc" "src/oblivious/CMakeFiles/sor_oblivious.dir/adversary.cpp.o.d"
+  "/root/repo/src/oblivious/electrical.cpp" "src/oblivious/CMakeFiles/sor_oblivious.dir/electrical.cpp.o" "gcc" "src/oblivious/CMakeFiles/sor_oblivious.dir/electrical.cpp.o.d"
+  "/root/repo/src/oblivious/hop_bounded_trees.cpp" "src/oblivious/CMakeFiles/sor_oblivious.dir/hop_bounded_trees.cpp.o" "gcc" "src/oblivious/CMakeFiles/sor_oblivious.dir/hop_bounded_trees.cpp.o.d"
+  "/root/repo/src/oblivious/hop_constrained.cpp" "src/oblivious/CMakeFiles/sor_oblivious.dir/hop_constrained.cpp.o" "gcc" "src/oblivious/CMakeFiles/sor_oblivious.dir/hop_constrained.cpp.o.d"
+  "/root/repo/src/oblivious/ksp.cpp" "src/oblivious/CMakeFiles/sor_oblivious.dir/ksp.cpp.o" "gcc" "src/oblivious/CMakeFiles/sor_oblivious.dir/ksp.cpp.o.d"
+  "/root/repo/src/oblivious/racke_routing.cpp" "src/oblivious/CMakeFiles/sor_oblivious.dir/racke_routing.cpp.o" "gcc" "src/oblivious/CMakeFiles/sor_oblivious.dir/racke_routing.cpp.o.d"
+  "/root/repo/src/oblivious/random_walk.cpp" "src/oblivious/CMakeFiles/sor_oblivious.dir/random_walk.cpp.o" "gcc" "src/oblivious/CMakeFiles/sor_oblivious.dir/random_walk.cpp.o.d"
+  "/root/repo/src/oblivious/routing.cpp" "src/oblivious/CMakeFiles/sor_oblivious.dir/routing.cpp.o" "gcc" "src/oblivious/CMakeFiles/sor_oblivious.dir/routing.cpp.o.d"
+  "/root/repo/src/oblivious/shortest_path.cpp" "src/oblivious/CMakeFiles/sor_oblivious.dir/shortest_path.cpp.o" "gcc" "src/oblivious/CMakeFiles/sor_oblivious.dir/shortest_path.cpp.o.d"
+  "/root/repo/src/oblivious/valiant.cpp" "src/oblivious/CMakeFiles/sor_oblivious.dir/valiant.cpp.o" "gcc" "src/oblivious/CMakeFiles/sor_oblivious.dir/valiant.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/sor_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/sor_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/sor_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/demand/CMakeFiles/sor_demand.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/sor_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

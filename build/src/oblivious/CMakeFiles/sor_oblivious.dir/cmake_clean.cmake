@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sor_oblivious.dir/adversary.cpp.o"
+  "CMakeFiles/sor_oblivious.dir/adversary.cpp.o.d"
+  "CMakeFiles/sor_oblivious.dir/electrical.cpp.o"
+  "CMakeFiles/sor_oblivious.dir/electrical.cpp.o.d"
+  "CMakeFiles/sor_oblivious.dir/hop_bounded_trees.cpp.o"
+  "CMakeFiles/sor_oblivious.dir/hop_bounded_trees.cpp.o.d"
+  "CMakeFiles/sor_oblivious.dir/hop_constrained.cpp.o"
+  "CMakeFiles/sor_oblivious.dir/hop_constrained.cpp.o.d"
+  "CMakeFiles/sor_oblivious.dir/ksp.cpp.o"
+  "CMakeFiles/sor_oblivious.dir/ksp.cpp.o.d"
+  "CMakeFiles/sor_oblivious.dir/racke_routing.cpp.o"
+  "CMakeFiles/sor_oblivious.dir/racke_routing.cpp.o.d"
+  "CMakeFiles/sor_oblivious.dir/random_walk.cpp.o"
+  "CMakeFiles/sor_oblivious.dir/random_walk.cpp.o.d"
+  "CMakeFiles/sor_oblivious.dir/routing.cpp.o"
+  "CMakeFiles/sor_oblivious.dir/routing.cpp.o.d"
+  "CMakeFiles/sor_oblivious.dir/shortest_path.cpp.o"
+  "CMakeFiles/sor_oblivious.dir/shortest_path.cpp.o.d"
+  "CMakeFiles/sor_oblivious.dir/valiant.cpp.o"
+  "CMakeFiles/sor_oblivious.dir/valiant.cpp.o.d"
+  "libsor_oblivious.a"
+  "libsor_oblivious.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sor_oblivious.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sor_sim.dir/packet_sim.cpp.o"
+  "CMakeFiles/sor_sim.dir/packet_sim.cpp.o.d"
+  "libsor_sim.a"
+  "libsor_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sor_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

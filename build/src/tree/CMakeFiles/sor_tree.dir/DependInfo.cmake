@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tree/frt.cpp" "src/tree/CMakeFiles/sor_tree.dir/frt.cpp.o" "gcc" "src/tree/CMakeFiles/sor_tree.dir/frt.cpp.o.d"
+  "/root/repo/src/tree/racke.cpp" "src/tree/CMakeFiles/sor_tree.dir/racke.cpp.o" "gcc" "src/tree/CMakeFiles/sor_tree.dir/racke.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/sor_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sor_tree.dir/frt.cpp.o"
+  "CMakeFiles/sor_tree.dir/frt.cpp.o.d"
+  "CMakeFiles/sor_tree.dir/racke.cpp.o"
+  "CMakeFiles/sor_tree.dir/racke.cpp.o.d"
+  "libsor_tree.a"
+  "libsor_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sor_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

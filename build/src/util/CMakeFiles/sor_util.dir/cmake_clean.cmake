@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sor_util.dir/log.cpp.o"
+  "CMakeFiles/sor_util.dir/log.cpp.o.d"
+  "CMakeFiles/sor_util.dir/parallel.cpp.o"
+  "CMakeFiles/sor_util.dir/parallel.cpp.o.d"
+  "CMakeFiles/sor_util.dir/rng.cpp.o"
+  "CMakeFiles/sor_util.dir/rng.cpp.o.d"
+  "CMakeFiles/sor_util.dir/stats.cpp.o"
+  "CMakeFiles/sor_util.dir/stats.cpp.o.d"
+  "CMakeFiles/sor_util.dir/table.cpp.o"
+  "CMakeFiles/sor_util.dir/table.cpp.o.d"
+  "CMakeFiles/sor_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/sor_util.dir/thread_pool.cpp.o.d"
+  "libsor_util.a"
+  "libsor_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sor_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

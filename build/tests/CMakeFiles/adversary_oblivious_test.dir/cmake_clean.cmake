@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversary_oblivious_test.dir/adversary_oblivious_test.cpp.o"
+  "CMakeFiles/adversary_oblivious_test.dir/adversary_oblivious_test.cpp.o.d"
+  "adversary_oblivious_test"
+  "adversary_oblivious_test.pdb"
+  "adversary_oblivious_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversary_oblivious_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concentration_test.dir/concentration_test.cpp.o"
+  "CMakeFiles/concentration_test.dir/concentration_test.cpp.o.d"
+  "concentration_test"
+  "concentration_test.pdb"
+  "concentration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concentration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

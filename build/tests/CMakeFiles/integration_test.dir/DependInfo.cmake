@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/integration_test.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sor_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lowerbound/CMakeFiles/sor_lowerbound.dir/DependInfo.cmake"
+  "/root/repo/build/src/compact/CMakeFiles/sor_compact.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sor_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/oblivious/CMakeFiles/sor_oblivious.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/sor_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/sor_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/sor_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/sor_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/demand/CMakeFiles/sor_demand.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sor_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weak_routing_test.dir/weak_routing_test.cpp.o"
+  "CMakeFiles/weak_routing_test.dir/weak_routing_test.cpp.o.d"
+  "weak_routing_test"
+  "weak_routing_test.pdb"
+  "weak_routing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weak_routing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
