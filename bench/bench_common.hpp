@@ -1,14 +1,21 @@
 #pragma once
 
-// Shared plumbing for the experiment binaries (E1–E9).
+// Shared plumbing for the experiment binaries (E1–E15).
 //
 // Each bench prints:
 //   * a banner naming the experiment and the paper claim it reproduces,
 //   * an aligned table (the "figure/table" reproduction),
-//   * a trailing CSV block for plotting.
+//   * a trailing CSV block for plotting,
+// and writes a machine-readable artifact BENCH_<id>.json next to the
+// binary's working directory, containing the table, the full telemetry
+// registry snapshot, and the hierarchical span tree (per-stage wall-clock
+// timings). See EXPERIMENTS.md for the artifact schema.
 // Set SOR_BENCH_QUICK=1 to shrink trial counts (CI smoke mode).
 
+#include <cctype>
+#include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -17,9 +24,20 @@
 #include "core/sampler.hpp"
 #include "demand/demand.hpp"
 #include "flow/mcf.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/span.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/table.hpp"
 
 namespace sor::bench {
+
+namespace detail {
+// Captured at static initialization — close enough to process start for
+// the wall_seconds figure in the artifact.
+inline const std::chrono::steady_clock::time_point process_start =
+    std::chrono::steady_clock::now();
+}  // namespace detail
 
 inline bool quick_mode() {
   const char* env = std::getenv("SOR_BENCH_QUICK");
@@ -30,9 +48,35 @@ inline std::size_t scaled(std::size_t full, std::size_t quick) {
   return quick_mode() ? quick : full;
 }
 
+/// Build provenance baked in by bench/CMakeLists.txt at configure time.
+inline const char* git_describe() {
+#ifdef SOR_GIT_DESCRIBE
+  return SOR_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+/// Short experiment id parsed from the banner string: "E1: sparsity ..."
+/// yields "E1". Falls back to the whole string (sanitized) if there is
+/// no colon.
+inline std::string short_id(const std::string& id_and_title) {
+  const std::size_t colon = id_and_title.find(':');
+  std::string id = colon == std::string::npos ? id_and_title
+                                              : id_and_title.substr(0, colon);
+  std::string out;
+  for (char c : id) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-') {
+      out.push_back(c);
+    }
+  }
+  return out.empty() ? std::string("UNKNOWN") : out;
+}
+
 /// OPT congestion for a demand (primal value of the (1+ε)-MCF).
 inline double opt_congestion(const Graph& g, const Demand& d,
                              double epsilon = 0.08) {
+  SOR_SPAN("bench/opt_congestion");
   if (d.empty()) return 0;
   McfOptions options;
   options.epsilon = epsilon;
@@ -43,6 +87,7 @@ inline double opt_congestion(const Graph& g, const Demand& d,
 /// suitable for bench-sized instances).
 inline double sor_congestion(const Graph& g, const PathSystem& ps,
                              const Demand& d, double epsilon = 0.05) {
+  SOR_SPAN("bench/sor_congestion");
   RouterOptions options;
   options.backend = LpBackend::kMwu;
   options.epsilon = epsilon;
@@ -50,13 +95,58 @@ inline double sor_congestion(const Graph& g, const PathSystem& ps,
   return router.route_fractional(d).congestion;
 }
 
-/// Prints the table and its CSV twin.
+/// Assembles the machine-readable artifact for one experiment run.
+inline telemetry::JsonValue artifact_json(const std::string& id,
+                                          const std::string& claim,
+                                          const Table& table) {
+  using telemetry::JsonValue;
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    detail::process_start)
+          .count();
+
+  JsonValue doc = JsonValue::object();
+  doc.set("experiment", short_id(id));
+  doc.set("title", id);
+  doc.set("claim", claim);
+  doc.set("git_describe", git_describe());
+  doc.set("quick_mode", quick_mode());
+  doc.set("wall_seconds", wall);
+
+  JsonValue columns = JsonValue::array();
+  for (const std::string& c : table.columns()) columns.push(c);
+  JsonValue rows = JsonValue::array();
+  for (const auto& row : table.rows()) {
+    JsonValue cells = JsonValue::array();
+    for (const std::string& cell : row) cells.push(cell);
+    rows.push(std::move(cells));
+  }
+  JsonValue tbl = JsonValue::object();
+  tbl.set("columns", std::move(columns));
+  tbl.set("rows", std::move(rows));
+  doc.set("table", std::move(tbl));
+
+  doc.set("telemetry", telemetry::registry_to_json());
+  doc.set("spans", telemetry::spans_to_json());
+  return doc;
+}
+
+/// Prints the table and its CSV twin, then writes BENCH_<id>.json.
 inline void emit(const std::string& id, const std::string& claim,
                  const Table& table) {
   print_banner(std::cout, id, claim);
   table.print(std::cout);
   std::cout << "\ncsv:\n";
   table.print_csv(std::cout);
+
+  const std::string artifact = "BENCH_" + short_id(id) + ".json";
+  std::ofstream out(artifact);
+  if (out) {
+    out << artifact_json(id, claim, table).dump(2) << "\n";
+    std::cout << "\nartifact: " << artifact << "\n";
+  } else {
+    std::cout << "\nartifact: failed to open " << artifact << " for writing\n";
+  }
   std::cout.flush();
 }
 

@@ -1,0 +1,110 @@
+// Validates a BENCH_<id>.json artifact against the schema documented in
+// EXPERIMENTS.md. Exits 0 if the document parses and every required key
+// has the right shape; prints the first violation and exits 1 otherwise.
+//
+// Usage: check_bench_json <path/to/BENCH_E1.json>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "telemetry/json.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using sor::telemetry::JsonValue;
+
+void require(bool ok, const std::string& what) {
+  if (!ok) {
+    std::fprintf(stderr, "schema violation: %s\n", what.c_str());
+    std::exit(1);
+  }
+}
+
+void check_member(const JsonValue& doc, const char* key, JsonValue::Kind kind,
+                  const char* kind_name) {
+  require(doc.has(key), std::string("missing key \"") + key + "\"");
+  require(doc.at(key).kind() == kind,
+          std::string("key \"") + key + "\" is not a " + kind_name);
+}
+
+void check_span_node(const JsonValue& node, const std::string& where) {
+  require(node.is_object(), where + " is not an object");
+  check_member(node, "name", JsonValue::Kind::kString, "string");
+  check_member(node, "count", JsonValue::Kind::kNumber, "number");
+  check_member(node, "seconds", JsonValue::Kind::kNumber, "number");
+  check_member(node, "children", JsonValue::Kind::kArray, "array");
+  const JsonValue& children = node.at("children");
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    check_span_node(children.at(i),
+                    where + "/" + node.at("name").as_string() + "[" +
+                        std::to_string(i) + "]");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <BENCH_<id>.json>\n", argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  JsonValue doc;
+  try {
+    doc = JsonValue::parse(buffer.str());
+  } catch (const sor::CheckError& e) {
+    std::fprintf(stderr, "parse error: %s\n", e.what());
+    return 1;
+  }
+
+  require(doc.is_object(), "top level is not an object");
+  check_member(doc, "experiment", JsonValue::Kind::kString, "string");
+  check_member(doc, "title", JsonValue::Kind::kString, "string");
+  check_member(doc, "claim", JsonValue::Kind::kString, "string");
+  check_member(doc, "git_describe", JsonValue::Kind::kString, "string");
+  check_member(doc, "quick_mode", JsonValue::Kind::kBool, "bool");
+  check_member(doc, "wall_seconds", JsonValue::Kind::kNumber, "number");
+  require(doc.at("wall_seconds").as_number() >= 0, "wall_seconds is negative");
+
+  check_member(doc, "table", JsonValue::Kind::kObject, "object");
+  const JsonValue& table = doc.at("table");
+  check_member(table, "columns", JsonValue::Kind::kArray, "array");
+  check_member(table, "rows", JsonValue::Kind::kArray, "array");
+  const std::size_t num_cols = table.at("columns").size();
+  require(num_cols > 0, "table has no columns");
+  const JsonValue& rows = table.at("rows");
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const JsonValue& row = rows.at(r);
+    require(row.is_array(), "table row " + std::to_string(r) + " not an array");
+    require(row.size() == num_cols,
+            "table row " + std::to_string(r) + " has " +
+                std::to_string(row.size()) + " cells, expected " +
+                std::to_string(num_cols));
+  }
+
+  check_member(doc, "telemetry", JsonValue::Kind::kObject, "object");
+  const JsonValue& telemetry = doc.at("telemetry");
+  check_member(telemetry, "counters", JsonValue::Kind::kObject, "object");
+  check_member(telemetry, "gauges", JsonValue::Kind::kObject, "object");
+  check_member(telemetry, "histograms", JsonValue::Kind::kObject, "object");
+
+  check_member(doc, "spans", JsonValue::Kind::kArray, "array");
+  const JsonValue& spans = doc.at("spans");
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    check_span_node(spans.at(i), "spans[" + std::to_string(i) + "]");
+  }
+
+  std::printf("%s: ok (%zu spans, %zu counters)\n", argv[1], spans.size(),
+              doc.at("telemetry").at("counters").size());
+  return 0;
+}

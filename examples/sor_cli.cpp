@@ -11,6 +11,7 @@
 //   --seed N          RNG seed                          (default 1)
 //   --integral        round to one path per demand unit and simulate
 //   --dump-paths FILE write the installed path system as vertex lists
+//   --trace           print the hierarchical span-timing tree at exit
 //
 // Prints the installed system's statistics, the achieved congestion, the
 // offline optimum, and the competitive ratio.
@@ -32,6 +33,7 @@
 #include "oblivious/racke_routing.hpp"
 #include "oblivious/shortest_path.hpp"
 #include "sim/packet_sim.hpp"
+#include "telemetry/span.hpp"
 #include "util/stopwatch.hpp"
 
 namespace {
@@ -44,13 +46,14 @@ struct Args {
   std::size_t k = 4;
   std::uint64_t seed = 1;
   bool integral = false;
+  bool trace = false;
 };
 
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg != nullptr) std::cerr << "error: " << msg << "\n";
   std::cerr << "usage: sor_cli --graph FILE [--demand FILE] [--k N] "
                "[--source racke|ksp|electrical|sp] [--seed N] [--integral] "
-               "[--dump-paths FILE]\n";
+               "[--dump-paths FILE] [--trace]\n";
   std::exit(2);
 }
 
@@ -74,6 +77,8 @@ Args parse(int argc, char** argv) {
       args.seed = std::stoull(value());
     } else if (flag == "--integral") {
       args.integral = true;
+    } else if (flag == "--trace") {
+      args.trace = true;
     } else if (flag == "--dump-paths") {
       args.dump_paths = value();
     } else {
@@ -126,12 +131,17 @@ int main(int argc, char** argv) {
 
   // Offline phase.
   sor::Stopwatch offline;
-  const auto source = make_source(args.source, g, args.seed);
-  sor::SampleOptions sample;
-  sample.k = args.k;
-  sample.deduplicate = true;
-  const sor::PathSystem system = sor::sample_path_system_for_demand(
-      *source, demand, sample, args.seed + 1);
+  std::unique_ptr<sor::ObliviousRouting> source;
+  sor::PathSystem system;
+  {
+    SOR_SPAN("cli/offline");
+    source = make_source(args.source, g, args.seed);
+    sor::SampleOptions sample;
+    sample.k = args.k;
+    sample.deduplicate = true;
+    system = sor::sample_path_system_for_demand(*source, demand, sample,
+                                                args.seed + 1);
+  }
   std::cout << "installed " << system.total_paths() << " paths from '"
             << source->name() << "' (k = " << args.k << ", max hops "
             << system.max_hops() << ") in " << offline.milliseconds()
@@ -151,7 +161,11 @@ int main(int argc, char** argv) {
   // Online phase.
   sor::Stopwatch online;
   const sor::SemiObliviousRouter router(g, system);
-  const sor::FractionalRoute route = router.route_fractional(demand);
+  sor::FractionalRoute route;
+  {
+    SOR_SPAN("cli/online");
+    route = router.route_fractional(demand);
+  }
   std::cout << "rate optimization took " << online.milliseconds()
             << " ms\n";
   const sor::CompetitiveReport report =
@@ -174,6 +188,9 @@ int main(int argc, char** argv) {
               << " (dilation " << integral.dilation << ")\n";
     std::cout << "simulated makespan        : " << sim.makespan
               << " steps\n";
+  }
+  if (args.trace) {
+    std::cout << "\nspan timings:\n" << sor::telemetry::span_tree_text();
   }
   return 0;
 }

@@ -59,7 +59,8 @@ std::size_t PathSystem::total_paths() const {
   return total;
 }
 
-void PathSystem::deduplicate() {
+std::size_t PathSystem::deduplicate() {
+  std::size_t removed = 0;
   for (auto& [pair, list] : paths_) {
     std::unordered_set<Path, PathHash> seen;
     std::vector<Path> unique;
@@ -67,8 +68,10 @@ void PathSystem::deduplicate() {
     for (Path& p : list) {
       if (seen.insert(p).second) unique.push_back(std::move(p));
     }
+    removed += list.size() - unique.size();
     list = std::move(unique);
   }
+  return removed;
 }
 
 std::size_t PathSystem::max_hops() const {

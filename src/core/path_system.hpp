@@ -44,7 +44,8 @@ class PathSystem {
   std::size_t total_paths() const;
 
   /// Removes duplicate paths within each pair (keeps first occurrences).
-  void deduplicate();
+  /// Returns the number of paths removed.
+  std::size_t deduplicate();
 
   /// Largest hop count over all stored paths (0 if empty).
   std::size_t max_hops() const;

@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "graph/search.hpp"
+#include "telemetry/span.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace sor {
 
@@ -27,6 +29,7 @@ RestrictedProblem SemiObliviousRouter::build_problem(
       SOR_CHECK_MSG(options_.add_shortest_fallback,
                     "no candidate paths for pair (" << c.src << "," << c.dst
                                                     << ")");
+      SOR_COUNTER("router/fallback_paths").add();
       rc.candidates.push_back(shortest_path_hops(*graph_, c.src, c.dst));
     }
     problem.commodities.push_back(std::move(rc));
@@ -54,6 +57,7 @@ std::size_t routing_dilation(const RestrictedProblem& problem,
 
 FractionalRoute SemiObliviousRouter::route_fractional(
     const Demand& demand) const {
+  SOR_SPAN("router/route_fractional");
   FractionalRoute route;
   route.problem = build_problem(demand);
   if (route.problem.commodities.empty()) {
@@ -77,12 +81,15 @@ FractionalRoute SemiObliviousRouter::route_fractional(
 
   RestrictedSolution solution;
   if (backend == LpBackend::kExact) {
+    SOR_COUNTER("router/backend_exact").add();
     solution = solve_restricted_exact(route.problem);
   } else {
+    SOR_COUNTER("router/backend_mwu").add();
     RestrictedMwuOptions mwu;
     mwu.epsilon = options_.epsilon;
     solution = solve_restricted_mwu(route.problem, mwu);
   }
+  SOR_GAUGE("router/last_congestion").set(solution.congestion);
 
   route.congestion = solution.congestion;
   route.lower_bound = solution.lower_bound;
@@ -94,6 +101,7 @@ FractionalRoute SemiObliviousRouter::route_fractional(
 
 IntegralRoute SemiObliviousRouter::route_integral_greedy(
     const Demand& demand) const {
+  SOR_SPAN("router/route_integral_greedy");
   SOR_CHECK_MSG(demand.is_integral(),
                 "route_integral_greedy needs integral demand");
   const RestrictedProblem problem = build_problem(demand);
@@ -141,6 +149,7 @@ IntegralRoute SemiObliviousRouter::route_integral_greedy(
 
 IntegralRoute SemiObliviousRouter::route_integral(const Demand& demand,
                                                   Rng& rng) const {
+  SOR_SPAN("router/route_integral");
   SOR_CHECK_MSG(demand.is_integral(), "route_integral needs integral demand");
   const FractionalRoute fractional = route_fractional(demand);
   const RestrictedProblem& problem = fractional.problem;

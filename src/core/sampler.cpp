@@ -6,6 +6,8 @@
 
 #include "demand/generators.hpp"
 #include "flow/maxflow.hpp"
+#include "telemetry/span.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/parallel.hpp"
 
 namespace sor {
@@ -14,6 +16,7 @@ PathSystem sample_path_system(const ObliviousRouting& routing,
                               std::span<const VertexPair> pairs,
                               const SampleOptions& options,
                               std::uint64_t seed) {
+  SOR_SPAN("sampler/sample_path_system");
   SOR_CHECK(options.k >= 1);
   const Graph& g = routing.graph();
   const Rng base(seed);
@@ -39,13 +42,27 @@ PathSystem sample_path_system(const ObliviousRouting& routing,
     for (std::size_t j = 0; j < count; ++j) {
       sampled[i].push_back(routing.sample_path(pair.a, pair.b, rng));
     }
+    SOR_COUNTER("sampler/paths_sampled").add(count);
+    SOR_HISTOGRAM("sampler/paths_per_pair", 0.0, 64.0, 64)
+        .observe(static_cast<double>(count));
   });
 
   PathSystem system;
   for (auto& list : sampled) {
     for (Path& p : list) system.add(std::move(p));
   }
-  if (options.deduplicate) system.deduplicate();
+  if (options.deduplicate) {
+    SOR_COUNTER("sampler/paths_deduplicated").add(system.deduplicate());
+  }
+  if (telemetry::enabled()) {
+    // Installed (post-dedup) sparsity per pair — the k that matters for
+    // Theorem 2.5's trade-off.
+    auto& sparsity = SOR_HISTOGRAM("sampler/sparsity_per_pair", 0.0, 64.0, 64);
+    for (const VertexPair& pair : system.pairs()) {
+      sparsity.observe(
+          static_cast<double>(system.canonical_paths(pair.a, pair.b).size()));
+    }
+  }
   return system;
 }
 

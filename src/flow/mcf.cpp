@@ -6,6 +6,8 @@
 #include <map>
 
 #include "graph/search.hpp"
+#include "telemetry/span.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
 
 namespace sor {
@@ -49,6 +51,8 @@ double dual_bound(const Graph& g, std::span<const Commodity> commodities,
 McfResult min_congestion_routing(const Graph& g,
                                  std::span<const Commodity> commodities,
                                  const McfOptions& options) {
+  SOR_SPAN("mcf/solve");
+  SOR_COUNTER("mcf/solves").add();
   SOR_CHECK(options.epsilon > 0 && options.epsilon < 1);
   for (const Commodity& c : commodities) {
     SOR_CHECK(c.src < g.num_vertices() && c.dst < g.num_vertices());
@@ -82,6 +86,7 @@ McfResult min_congestion_routing(const Graph& g,
       const Commodity& c = commodities[j];
       double remaining = c.amount;
       while (remaining > 1e-12) {
+        SOR_COUNTER("mcf/dijkstra_calls").add();
         const SpTree tree = dijkstra(g, c.src, lengths);
         const Path path = tree.extract_path(g, c.dst);
         double bottleneck = std::numeric_limits<double>::infinity();
@@ -122,6 +127,9 @@ McfResult min_congestion_routing(const Graph& g,
   result.congestion = max_congestion(g, result.load);
   result.lower_bound = best_lower;
   result.phases = phase;
+  SOR_COUNTER("mcf/phases").add(phase);
+  SOR_GAUGE("mcf/duality_gap")
+      .set(result.congestion / std::max(best_lower, 1e-300));
   if (result.congestion / std::max(best_lower, 1e-300) > 1.0 + eps) {
     SOR_LOG(kWarn) << "mcf hit max_phases with gap "
                    << result.congestion / best_lower << " (target "

@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "lp/simplex.hpp"
+#include "telemetry/span.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
 
 namespace sor {
@@ -43,6 +45,8 @@ EdgeLoad load_from_weights(const Graph& g, const RestrictedProblem& problem,
 }  // namespace
 
 RestrictedSolution solve_restricted_exact(const RestrictedProblem& problem) {
+  SOR_SPAN("lp/exact");
+  SOR_COUNTER("lp/exact_solves").add();
   validate_restricted_problem(problem);
   [[maybe_unused]] const Graph& g = *problem.graph;
 
@@ -127,6 +131,8 @@ RestrictedSolution solve_restricted_exact(const RestrictedProblem& problem) {
 
 RestrictedSolution solve_restricted_mwu(const RestrictedProblem& problem,
                                         const RestrictedMwuOptions& options) {
+  SOR_SPAN("lp/mwu");
+  SOR_COUNTER("lp/mwu_solves").add();
   validate_restricted_problem(problem);
   SOR_CHECK(options.epsilon > 0 && options.epsilon < 1);
   [[maybe_unused]] const Graph& g = *problem.graph;
@@ -175,6 +181,7 @@ RestrictedSolution solve_restricted_mwu(const RestrictedProblem& problem,
           bottleneck = std::min(bottleneck, g.edge(e).capacity);
         }
         const double send = std::min(remaining, bottleneck);
+        SOR_COUNTER("mwu/route_steps").add();
         solution.weights[j][best_p] += send;
         add_path_load(path, send, solution.load);
         for (EdgeId e : path.edges) {
@@ -221,6 +228,10 @@ RestrictedSolution solve_restricted_mwu(const RestrictedProblem& problem,
   for (double& load : solution.load) load *= scale;
   solution.congestion = max_congestion(g, solution.load);
   solution.lower_bound = best_lower;
+  SOR_COUNTER("mwu/phases").add(phase);
+  if (best_lower > 0) {
+    SOR_GAUGE("mwu/duality_gap").set(solution.congestion / best_lower);
+  }
   if (best_lower > 0 && solution.congestion / best_lower > 1.0 + eps) {
     SOR_LOG(kWarn) << "restricted MWU stopped at gap "
                    << solution.congestion / best_lower;

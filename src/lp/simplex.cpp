@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "telemetry/span.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
 
 namespace sor {
@@ -141,6 +143,7 @@ class Tableau {
   }
 
   void pivot(std::size_t row, std::size_t col) {
+    SOR_COUNTER("simplex/pivots").add();
     const double p = a_[row][col];
     SOR_DCHECK(std::abs(p) > kPivotTol);
     const double inv = 1.0 / p;
@@ -182,6 +185,8 @@ class Tableau {
 }  // namespace
 
 LpSolution solve_lp(const LpProblem& problem, std::size_t max_iterations) {
+  SOR_SPAN("lp/simplex");
+  SOR_COUNTER("simplex/solves").add();
   const std::size_t n = problem.objective.size();
   const std::size_t m = problem.constraints.size();
   for (const LpConstraint& c : problem.constraints) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "graph/search.hpp"
+#include "telemetry/span.hpp"
+#include "telemetry/telemetry.hpp"
 #include "la/cg.hpp"
 
 namespace sor {
@@ -21,6 +23,8 @@ const std::vector<double>& ElectricalRouting::flow(Vertex s, Vertex t) const {
   std::lock_guard lock(mu_);
   auto it = flow_cache_.find(key);
   if (it == flow_cache_.end()) {
+    SOR_SPAN("oblivious/electrical_flow");
+    SOR_COUNTER("oblivious/electrical_flow_solves").add();
     it = flow_cache_.emplace(key, electrical_flow(*graph_, key.a, key.b))
              .first;
   }

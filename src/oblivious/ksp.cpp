@@ -7,6 +7,8 @@
 #include <set>
 
 #include "graph/search.hpp"
+#include "telemetry/span.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace sor {
 
@@ -145,6 +147,8 @@ const std::vector<Path>& KspRouting::candidates(Vertex s, Vertex t) const {
   std::lock_guard lock(mu_);
   auto it = cache_.find(key);
   if (it == cache_.end()) {
+    SOR_SPAN("oblivious/ksp_yen");
+    SOR_COUNTER("oblivious/ksp_yen_builds").add();
     it = cache_
              .emplace(key,
                       k_shortest_paths(*graph_, key.a, key.b, k_, lengths_))

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/span.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
 
 namespace sor {
@@ -10,6 +12,9 @@ namespace sor {
 SimResult simulate_store_and_forward(const Graph& g,
                                      std::span<const Path> packet_paths,
                                      Rng& rng) {
+  SOR_SPAN("sim/store_and_forward");
+  SOR_COUNTER("sim/runs").add();
+  SOR_COUNTER("sim/packets").add(packet_paths.size());
   SimResult result;
 
   struct PacketState {
@@ -59,6 +64,8 @@ SimResult simulate_store_and_forward(const Graph& g,
     for (EdgeId e = 0; e < g.num_edges(); ++e) {
       auto& queue = waiting[e];
       if (queue.empty()) continue;
+      SOR_HISTOGRAM("sim/queue_occupancy", 0.0, 128.0, 64)
+          .observe(static_cast<double>(queue.size()));
       const std::size_t serve = std::min(rate[e], queue.size());
       std::partial_sort(queue.begin(),
                         queue.begin() + static_cast<std::ptrdiff_t>(serve),
@@ -81,6 +88,8 @@ SimResult simulate_store_and_forward(const Graph& g,
       }
     }
   }
+  SOR_COUNTER("sim/steps").add(step);
+  SOR_GAUGE("sim/makespan").set(static_cast<double>(step));
   result.makespan = step;
   return result;
 }

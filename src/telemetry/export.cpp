@@ -1,0 +1,98 @@
+#include "telemetry/export.hpp"
+
+#include <ostream>
+
+namespace sor::telemetry {
+
+namespace {
+
+JsonValue histogram_to_json(const HistogramSnapshot& snap) {
+  JsonValue h = JsonValue::object();
+  h.set("lo", snap.lo);
+  h.set("hi", snap.hi);
+  h.set("count", snap.count);
+  h.set("sum", snap.sum);
+  h.set("min", snap.count > 0 ? snap.min : 0.0);
+  h.set("max", snap.count > 0 ? snap.max : 0.0);
+  StatsSummary s = summarize_histogram(snap.buckets, snap.lo, snap.hi);
+  if (snap.count > 0) {
+    s.mean = snap.sum / static_cast<double>(snap.count);
+    s.max = snap.max;
+  }
+  h.set("mean", s.mean);
+  h.set("p50", s.p50);
+  h.set("p95", s.p95);
+  h.set("p99", s.p99);
+  JsonValue buckets = JsonValue::array();
+  for (std::uint64_t b : snap.buckets) buckets.push(b);
+  h.set("buckets", std::move(buckets));
+  return h;
+}
+
+JsonValue span_to_json(const SpanSnapshot& span) {
+  JsonValue node = JsonValue::object();
+  node.set("name", span.name);
+  node.set("count", span.count);
+  node.set("seconds", span.seconds);
+  JsonValue children = JsonValue::array();
+  for (const SpanSnapshot& child : span.children) {
+    children.push(span_to_json(child));
+  }
+  node.set("children", std::move(children));
+  return node;
+}
+
+}  // namespace
+
+JsonValue registry_to_json(const Registry& registry) {
+  JsonValue root = JsonValue::object();
+  JsonValue counters = JsonValue::object();
+  for (const auto& [name, value] : registry.counters()) {
+    counters.set(name, value);
+  }
+  root.set("counters", std::move(counters));
+  JsonValue gauges = JsonValue::object();
+  for (const auto& [name, value] : registry.gauges()) {
+    gauges.set(name, value);
+  }
+  root.set("gauges", std::move(gauges));
+  JsonValue histograms = JsonValue::object();
+  for (const auto& [name, snap] : registry.histograms()) {
+    histograms.set(name, histogram_to_json(snap));
+  }
+  root.set("histograms", std::move(histograms));
+  return root;
+}
+
+JsonValue spans_to_json(const std::vector<SpanSnapshot>& spans) {
+  JsonValue arr = JsonValue::array();
+  for (const SpanSnapshot& span : spans) arr.push(span_to_json(span));
+  return arr;
+}
+
+JsonValue spans_to_json() { return spans_to_json(snapshot_spans()); }
+
+void write_registry_csv(std::ostream& os, const Registry& registry) {
+  os << "kind,name,field,value\n";
+  for (const auto& [name, value] : registry.counters()) {
+    os << "counter," << name << ",value," << value << "\n";
+  }
+  for (const auto& [name, value] : registry.gauges()) {
+    os << "gauge," << name << ",value," << value << "\n";
+  }
+  for (const auto& [name, snap] : registry.histograms()) {
+    StatsSummary s = summarize_histogram(snap.buckets, snap.lo, snap.hi);
+    if (snap.count > 0) {
+      s.mean = snap.sum / static_cast<double>(snap.count);
+      s.max = snap.max;
+    }
+    os << "histogram," << name << ",count," << snap.count << "\n";
+    os << "histogram," << name << ",mean," << s.mean << "\n";
+    os << "histogram," << name << ",p50," << s.p50 << "\n";
+    os << "histogram," << name << ",p95," << s.p95 << "\n";
+    os << "histogram," << name << ",p99," << s.p99 << "\n";
+    os << "histogram," << name << ",max," << s.max << "\n";
+  }
+}
+
+}  // namespace sor::telemetry

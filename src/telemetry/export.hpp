@@ -1,0 +1,38 @@
+#pragma once
+
+// Serialization of the metric registry and the span forest.
+//
+// JSON shapes (consumed by BENCH_*.json tooling — see EXPERIMENTS.md):
+//
+//   registry_to_json() ->
+//     {"counters": {name: integer, ...},
+//      "gauges":   {name: number, ...},
+//      "histograms": {name: {"lo": a, "hi": b, "count": n, "sum": s,
+//                            "min": m, "max": M, "mean": µ,
+//                            "p50": q, "p95": q, "p99": q,
+//                            "buckets": [n0, n1, ...]}, ...}}
+//
+//   spans_to_json() ->
+//     [{"name": str, "count": n, "seconds": s, "children": [...]}, ...]
+//
+// CSV: one "kind,name,field,value" row per scalar (histograms flattened
+// to their summary fields), for spreadsheet-side consumption.
+
+#include <iosfwd>
+#include <vector>
+
+#include "telemetry/json.hpp"
+#include "telemetry/span.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace sor::telemetry {
+
+JsonValue registry_to_json(const Registry& registry = Registry::global());
+
+JsonValue spans_to_json(const std::vector<SpanSnapshot>& spans);
+JsonValue spans_to_json();  // snapshot_spans() of the global forest
+
+void write_registry_csv(std::ostream& os,
+                        const Registry& registry = Registry::global());
+
+}  // namespace sor::telemetry

@@ -1,0 +1,169 @@
+#pragma once
+
+// Thread-safe metric registry: named counters, gauges, and fixed-bucket
+// histograms.
+//
+// Design goals, in order:
+//  1. Negligible hot-path overhead. Metric objects live at stable
+//     addresses for the process lifetime, so call sites intern them once
+//     into a function-local static and afterwards pay one relaxed atomic
+//     op per event. The registry lock is only taken at interning time and
+//     by exporters.
+//  2. A process-wide kill switch: SOR_TELEMETRY=off (or 0) disables all
+//     recording; disabled metrics are a single relaxed atomic-bool load.
+//     Tests can override with set_enabled().
+//  3. Exportability: everything is snapshotable into plain structs,
+//     serialized by telemetry/export.hpp.
+//
+// Metric naming scheme (see DESIGN.md "Observability"): lower-case
+// "<subsystem>/<event>" paths, e.g. "mwu/phases", "sampler/paths_sampled".
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace sor::telemetry {
+
+/// Whether recording is enabled. Initialized from SOR_TELEMETRY on first
+/// use ("off"/"0" disables; anything else, including unset, enables).
+bool enabled();
+
+/// Test/CLI override of the kill switch.
+void set_enabled(bool on);
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (enabled()) value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+namespace detail {
+std::uint64_t to_bits(double v);
+double from_bits(std::uint64_t b);
+}  // namespace detail
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) {
+    if (enabled()) bits_.store(detail::to_bits(v), std::memory_order_relaxed);
+  }
+  double value() const {
+    return detail::from_bits(bits_.load(std::memory_order_relaxed));
+  }
+  void reset() { bits_.store(detail::to_bits(0.0), std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+struct HistogramSnapshot {
+  double lo = 0;
+  double hi = 0;
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  double sum = 0;
+  double min = 0;  // meaningful only when count > 0
+  double max = 0;
+};
+
+/// Equal-width buckets over [lo, hi]; observations outside the range are
+/// clamped into the boundary buckets (matching sor::histogram). Exact
+/// count/sum/min/max are tracked alongside so summary() reports the true
+/// mean and extrema even for clamped observations.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t num_buckets);
+
+  void observe(double x);
+  HistogramSnapshot snapshot() const;
+
+  /// count/mean/max exact; quantiles reconstructed from the buckets
+  /// (accurate to half a bucket width).
+  StatsSummary summary() const;
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t num_buckets() const { return buckets_.size(); }
+  void reset();
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  // Exact accumulators, CAS-updated (histogram observation sites are far
+  // off the per-edge inner loops, so the loops never spin in practice).
+  std::atomic<std::uint64_t> sum_bits_;
+  std::atomic<std::uint64_t> min_bits_;
+  std::atomic<std::uint64_t> max_bits_;
+};
+
+/// Name → metric map. Metrics are created on first access and live (at a
+/// stable address) until process exit; lookups after interning are free.
+class Registry {
+ public:
+  static Registry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Bucket parameters apply on first registration; later calls with the
+  /// same name return the existing histogram (parameters must match).
+  Histogram& histogram(std::string_view name, double lo, double hi,
+                       std::size_t num_buckets);
+
+  std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+  std::vector<std::pair<std::string, double>> gauges() const;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms() const;
+
+  /// Zeroes every registered metric (registrations are kept, so interned
+  /// references stay valid). For bench/test isolation, not hot paths.
+  void reset();
+
+ private:
+  Registry() = default;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace sor::telemetry
+
+/// Call-site helpers: intern once, then one relaxed atomic per event.
+#define SOR_COUNTER(name)                                             \
+  ([]() -> ::sor::telemetry::Counter& {                               \
+    static ::sor::telemetry::Counter& c =                             \
+        ::sor::telemetry::Registry::global().counter(name);           \
+    return c;                                                         \
+  }())
+
+#define SOR_GAUGE(name)                                               \
+  ([]() -> ::sor::telemetry::Gauge& {                                 \
+    static ::sor::telemetry::Gauge& g =                               \
+        ::sor::telemetry::Registry::global().gauge(name);             \
+    return g;                                                         \
+  }())
+
+#define SOR_HISTOGRAM(name, lo, hi, buckets)                          \
+  ([]() -> ::sor::telemetry::Histogram& {                             \
+    static ::sor::telemetry::Histogram& h =                           \
+        ::sor::telemetry::Registry::global().histogram(name, lo, hi,  \
+                                                       buckets);      \
+    return h;                                                         \
+  }())

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "telemetry/span.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
 
 namespace sor {
@@ -24,6 +26,8 @@ std::vector<double> tree_relative_load(const Graph& g, const HstTree& tree) {
 
 RaeckeEnsemble::RaeckeEnsemble(const Graph& g, const RaeckeOptions& options)
     : graph_(&g) {
+  SOR_SPAN("tree/racke_ensemble");
+  SOR_COUNTER("tree/racke_ensembles").add();
   SOR_CHECK_MSG(g.is_connected(), "Räcke ensemble requires connectivity");
   std::size_t num_trees = options.num_trees;
   if (num_trees == 0) {
@@ -31,6 +35,7 @@ RaeckeEnsemble::RaeckeEnsemble(const Graph& g, const RaeckeOptions& options)
     num_trees = 2 * static_cast<std::size_t>(std::ceil(lg)) + 4;
   }
   SOR_CHECK(options.eta > 0);
+  SOR_GAUGE("tree/racke_trees").set(static_cast<double>(num_trees));
 
   Rng rng(options.seed);
   std::vector<double> cumulative_rload(g.num_edges(), 0.0);

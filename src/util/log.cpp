@@ -1,6 +1,7 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <mutex>
 
@@ -8,7 +9,17 @@ namespace sor {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+// Serializes concurrent log_line calls (the thread pool logs from every
+// worker); one line is always written atomically.
 std::mutex g_write_mu;
+
+/// Monotonic seconds since the first log call, for ordering interleaved
+/// solver logs without wall-clock jumps.
+double monotonic_seconds() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -30,8 +41,10 @@ LogLevel log_level() { return g_level.load(); }
 
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  const double t = monotonic_seconds();
   std::lock_guard lock(g_write_mu);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  std::fprintf(stderr, "[%10.3f] [%s] %s\n", t, level_name(level),
+               message.c_str());
 }
 
 }  // namespace sor

@@ -4,7 +4,28 @@
 #include <mutex>
 #include <vector>
 
+#include "telemetry/span.hpp"
+
 namespace sor {
+
+namespace {
+
+/// Installs the submitting thread's span cursor on a pool worker for the
+/// duration of a chunk, so SOR_SPAN inside parallel bodies nests under the
+/// span active at the parallel_for call site.
+class SpanContextGuard {
+ public:
+  explicit SpanContextGuard(telemetry::detail::SpanNode* parent)
+      : saved_(telemetry::detail::current_span()) {
+    telemetry::detail::set_current_span(parent);
+  }
+  ~SpanContextGuard() { telemetry::detail::set_current_span(saved_); }
+
+ private:
+  telemetry::detail::SpanNode* saved_;
+};
+
+}  // namespace
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   ThreadPool* pool) {
@@ -25,8 +46,10 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
 
   std::mutex err_mu;
   std::exception_ptr first_error;
+  telemetry::detail::SpanNode* span_parent = telemetry::detail::current_span();
 
   auto run_chunk = [&](std::size_t c) {
+    const SpanContextGuard span_guard(span_parent);
     const std::size_t begin = c * base + std::min(c, extra);
     const std::size_t end = begin + base + (c < extra ? 1 : 0);
     try {

@@ -33,6 +33,9 @@ class Table {
   std::size_t num_rows() const { return rows_.size(); }
   std::size_t num_cols() const { return columns_.size(); }
 
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> columns_;
   std::vector<std::vector<std::string>> rows_;

@@ -1,0 +1,271 @@
+// Unit tests for src/telemetry: registry metrics under concurrency, span
+// tree nesting (including across thread-pool workers), JSON round-trip,
+// and the SOR_TELEMETRY kill switch.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/router.hpp"
+#include "demand/demand.hpp"
+#include "graph/generators.hpp"
+#include "oblivious/shortest_path.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/span.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/parallel.hpp"
+
+namespace sor {
+namespace {
+
+using telemetry::JsonValue;
+
+// Spans open elsewhere in the test binary would make reset_spans unsafe;
+// these tests only run spans they open themselves.
+
+// Recording tests must work regardless of the SOR_TELEMETRY environment
+// the suite runs under.
+struct ScopedEnable {
+  explicit ScopedEnable(bool on = true) : previous(telemetry::enabled()) {
+    telemetry::set_enabled(on);
+  }
+  ~ScopedEnable() { telemetry::set_enabled(previous); }
+  bool previous;
+};
+
+const telemetry::SpanSnapshot* find_span(
+    const std::vector<telemetry::SpanSnapshot>& spans,
+    const std::string& name) {
+  for (const auto& s : spans) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+TEST(TelemetryCounter, ConcurrentIncrementsLandExactly) {
+  const ScopedEnable enable;
+  auto& counter = SOR_COUNTER("test/concurrent_counter");
+  counter.reset();
+  const std::size_t n = 20000;
+  parallel_for(n, [&](std::size_t) { counter.add(); });
+  EXPECT_EQ(counter.value(), n);
+
+  counter.reset();
+  parallel_for(n, [&](std::size_t i) { counter.add(i % 3); });
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < n; ++i) expected += i % 3;
+  EXPECT_EQ(counter.value(), expected);
+}
+
+TEST(TelemetryGauge, LastWriteWins) {
+  const ScopedEnable enable;
+  auto& gauge = SOR_GAUGE("test/gauge");
+  gauge.set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.5);
+  gauge.set(-1.25);
+  EXPECT_DOUBLE_EQ(gauge.value(), -1.25);
+}
+
+TEST(TelemetryHistogram, ConcurrentObservationsExactCountAndSum) {
+  const ScopedEnable enable;
+  auto& hist = SOR_HISTOGRAM("test/concurrent_hist", 0.0, 100.0, 10);
+  hist.reset();
+  const std::size_t n = 20000;
+  parallel_for(n, [&](std::size_t i) {
+    hist.observe(static_cast<double>(i % 100));
+  });
+  const auto snap = hist.snapshot();
+  EXPECT_EQ(snap.count, n);
+  double expected_sum = 0;
+  for (std::size_t i = 0; i < n; ++i) expected_sum += static_cast<double>(i % 100);
+  EXPECT_DOUBLE_EQ(snap.sum, expected_sum);
+  EXPECT_DOUBLE_EQ(snap.min, 0.0);
+  EXPECT_DOUBLE_EQ(snap.max, 99.0);
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, n);
+}
+
+TEST(TelemetryHistogram, ClampsOutOfRangeIntoBoundaryBuckets) {
+  const ScopedEnable enable;
+  auto& hist = SOR_HISTOGRAM("test/clamp_hist", 0.0, 10.0, 10);
+  hist.reset();
+  hist.observe(-5.0);
+  hist.observe(25.0);
+  const auto snap = hist.snapshot();
+  EXPECT_EQ(snap.buckets.front(), 1u);
+  EXPECT_EQ(snap.buckets.back(), 1u);
+  // Exact extrema survive clamping.
+  EXPECT_DOUBLE_EQ(snap.min, -5.0);
+  EXPECT_DOUBLE_EQ(snap.max, 25.0);
+  const StatsSummary s = hist.summary();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.max, 25.0);  // exact, not the bin midpoint
+}
+
+TEST(TelemetrySpan, NestsAndAggregates) {
+  const ScopedEnable enable;
+  telemetry::reset_spans();
+  {
+    SOR_SPAN("test/outer");
+    for (int i = 0; i < 3; ++i) {
+      SOR_SPAN("test/inner");
+    }
+    { SOR_SPAN("test/other"); }
+  }
+  { SOR_SPAN("test/outer"); }  // second invocation aggregates
+
+  const auto spans = telemetry::snapshot_spans();
+  const auto* outer = find_span(spans, "test/outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count, 2u);
+  ASSERT_EQ(outer->children.size(), 2u);
+  const auto* inner = find_span(outer->children, "test/inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->count, 3u);
+  EXPECT_GE(outer->seconds, 0.0);
+
+  const std::string text = telemetry::span_tree_text();
+  EXPECT_NE(text.find("test/outer"), std::string::npos);
+  EXPECT_NE(text.find("test/inner"), std::string::npos);
+  telemetry::reset_spans();
+}
+
+TEST(TelemetrySpan, PropagatesAcrossPoolWorkers) {
+  const ScopedEnable enable;
+  telemetry::reset_spans();
+  const std::size_t n = 64;
+  {
+    SOR_SPAN("test/parallel_outer");
+    parallel_for(n, [&](std::size_t) { SOR_SPAN("test/parallel_inner"); });
+  }
+  const auto spans = telemetry::snapshot_spans();
+  const auto* outer = find_span(spans, "test/parallel_outer");
+  ASSERT_NE(outer, nullptr);
+  // The inner span must appear as a child of the outer one, never as a
+  // top-level root, regardless of which pool thread ran it.
+  EXPECT_EQ(find_span(spans, "test/parallel_inner"), nullptr);
+  const auto* inner = find_span(outer->children, "test/parallel_inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->count, n);
+  telemetry::reset_spans();
+}
+
+TEST(TelemetryJson, RoundTripsThroughParser) {
+  JsonValue doc = JsonValue::object();
+  doc.set("string", "hello \"world\"\n");
+  doc.set("int", 42);
+  doc.set("float", 2.625);
+  doc.set("negative", -17.5);
+  doc.set("yes", true);
+  doc.set("no", false);
+  doc.set("nothing", JsonValue());
+  JsonValue arr = JsonValue::array();
+  arr.push(1);
+  arr.push("two");
+  arr.push(JsonValue::array());
+  doc.set("arr", std::move(arr));
+  JsonValue nested = JsonValue::object();
+  nested.set("deep", 1e-9);
+  doc.set("nested", std::move(nested));
+
+  for (int indent : {0, 2}) {
+    const JsonValue parsed = JsonValue::parse(doc.dump(indent));
+    EXPECT_EQ(parsed.at("string").as_string(), "hello \"world\"\n");
+    EXPECT_DOUBLE_EQ(parsed.at("int").as_number(), 42.0);
+    EXPECT_DOUBLE_EQ(parsed.at("float").as_number(), 2.625);
+    EXPECT_DOUBLE_EQ(parsed.at("negative").as_number(), -17.5);
+    EXPECT_TRUE(parsed.at("yes").as_bool());
+    EXPECT_FALSE(parsed.at("no").as_bool());
+    EXPECT_TRUE(parsed.at("nothing").is_null());
+    EXPECT_EQ(parsed.at("arr").size(), 3u);
+    EXPECT_EQ(parsed.at("arr").at(std::size_t{1}).as_string(), "two");
+    EXPECT_DOUBLE_EQ(parsed.at("nested").at("deep").as_number(), 1e-9);
+  }
+}
+
+TEST(TelemetryJson, ParserRejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse(""), CheckError);
+  EXPECT_THROW(JsonValue::parse("{"), CheckError);
+  EXPECT_THROW(JsonValue::parse("[1,]"), CheckError);
+  EXPECT_THROW(JsonValue::parse("{\"a\": 1,}"), CheckError);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), CheckError);
+  EXPECT_THROW(JsonValue::parse("{\"a\": 1} trailing"), CheckError);
+  EXPECT_THROW(JsonValue::parse("nul"), CheckError);
+}
+
+TEST(TelemetryJson, ParserDecodesEscapes) {
+  const JsonValue v = JsonValue::parse(R"("a\tbA\\")");
+  EXPECT_EQ(v.as_string(), "a\tbA\\");
+}
+
+TEST(TelemetryExport, RegistrySnapshotHasExpectedShape) {
+  const ScopedEnable enable;
+  SOR_COUNTER("test/export_counter").add(7);
+  SOR_GAUGE("test/export_gauge").set(1.5);
+  SOR_HISTOGRAM("test/export_hist", 0.0, 10.0, 5).observe(3.0);
+
+  const JsonValue doc = telemetry::registry_to_json();
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_GE(doc.at("counters").at("test/export_counter").as_number(), 7.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("test/export_gauge").as_number(), 1.5);
+  const JsonValue& hist = doc.at("histograms").at("test/export_hist");
+  EXPECT_GE(hist.at("count").as_number(), 1.0);
+  EXPECT_EQ(hist.at("buckets").size(), 5u);
+  // The exporter's output must itself round-trip.
+  const JsonValue reparsed = JsonValue::parse(doc.dump(2));
+  EXPECT_TRUE(reparsed.at("histograms").has("test/export_hist"));
+}
+
+TEST(TelemetryKillSwitch, DisabledRecordsNothing) {
+  const ScopedEnable enable;
+  auto& counter = SOR_COUNTER("test/killswitch_counter");
+  auto& gauge = SOR_GAUGE("test/killswitch_gauge");
+  auto& hist = SOR_HISTOGRAM("test/killswitch_hist", 0.0, 1.0, 4);
+  counter.reset();
+  gauge.set(3.0);
+  hist.reset();
+  telemetry::reset_spans();
+
+  telemetry::set_enabled(false);
+  counter.add(5);
+  gauge.set(99.0);
+  hist.observe(0.5);
+  { SOR_SPAN("test/killswitch_span"); }
+  telemetry::set_enabled(true);
+
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_DOUBLE_EQ(gauge.value(), 3.0);
+  EXPECT_EQ(hist.snapshot().count, 0u);
+  EXPECT_EQ(find_span(telemetry::snapshot_spans(), "test/killswitch_span"),
+            nullptr);
+}
+
+TEST(TelemetryKillSwitch, SolverResultsUnchangedWhenDisabled) {
+  const ScopedEnable enable;
+  const Graph g = make_grid(4, 4);
+  const ShortestPathRouting routing(g);
+  PathSystem ps;
+  for (Vertex s = 0; s < g.num_vertices(); ++s) {
+    for (Vertex t = s + 1; t < g.num_vertices(); ++t) {
+      Rng rng(7);
+      ps.add(routing.sample_path(s, t, rng));
+    }
+  }
+  Demand d;
+  d.add(0, 15, 4.0);
+  d.add(3, 12, 4.0);
+  const SemiObliviousRouter router(g, ps);
+
+  const double with_telemetry = router.route_fractional(d).congestion;
+  telemetry::set_enabled(false);
+  const double without_telemetry = router.route_fractional(d).congestion;
+  telemetry::set_enabled(true);
+  EXPECT_DOUBLE_EQ(with_telemetry, without_telemetry);
+}
+
+}  // namespace
+}  // namespace sor
