@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -36,11 +37,69 @@ void check_span_node(const JsonValue& node, const std::string& where) {
   check_member(node, "count", JsonValue::Kind::kNumber, "number");
   check_member(node, "seconds", JsonValue::Kind::kNumber, "number");
   check_member(node, "children", JsonValue::Kind::kArray, "array");
+  // Integrity of the exporter's open/close bookkeeping: a span that was
+  // opened but never closed (or closed twice) exports with count < 1, and
+  // a name can only appear once among its siblings — the exporter
+  // aggregates same-name children into one node, so a duplicate means two
+  // nodes were stitched under mismatched parents.
+  require(node.at("count").as_number() >= 1,
+          where + " has count < 1 (span opened but never closed)");
+  require(node.at("seconds").as_number() >= 0,
+          where + " has negative seconds");
   const JsonValue& children = node.at("children");
+  std::set<std::string> sibling_names;
   for (std::size_t i = 0; i < children.size(); ++i) {
-    check_span_node(children.at(i),
-                    where + "/" + node.at("name").as_string() + "[" +
-                        std::to_string(i) + "]");
+    const std::string child_where = where + "/" + node.at("name").as_string() +
+                                    "[" + std::to_string(i) + "]";
+    check_span_node(children.at(i), child_where);
+    const std::string child_name = children.at(i).at("name").as_string();
+    require(sibling_names.insert(child_name).second,
+            child_where + " duplicates sibling span \"" + child_name +
+                "\" (mismatched open/close nesting)");
+  }
+}
+
+/// Numeric array of exactly `expected` nonnegative entries.
+void check_series(const JsonValue& mode, const char* key, std::size_t expected,
+                  const std::string& where) {
+  check_member(mode, key, JsonValue::Kind::kArray, "array");
+  const JsonValue& series = mode.at(key);
+  require(series.size() == expected,
+          where + "/" + key + " has " + std::to_string(series.size()) +
+              " entries, expected " + std::to_string(expected));
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    require(series.at(i).kind() == JsonValue::Kind::kNumber,
+            where + "/" + key + "[" + std::to_string(i) + "] is not a number");
+    require(series.at(i).as_number() >= 0,
+            where + "/" + key + "[" + std::to_string(i) + "] is negative");
+  }
+}
+
+/// E16 carries the control-loop extension block: per-epoch series for the
+/// warm and cold modes, all of the same length as the declared epoch count.
+void check_e16(const JsonValue& doc) {
+  check_member(doc, "e16", JsonValue::Kind::kObject, "object");
+  const JsonValue& e16 = doc.at("e16");
+  check_member(e16, "epochs", JsonValue::Kind::kNumber, "number");
+  const double epochs_num = e16.at("epochs").as_number();
+  require(epochs_num >= 1, "e16/epochs < 1");
+  const std::size_t epochs = static_cast<std::size_t>(epochs_num);
+  check_member(e16, "modes", JsonValue::Kind::kObject, "object");
+  const JsonValue& modes = e16.at("modes");
+  for (const char* name : {"warm", "cold"}) {
+    const std::string where = std::string("e16/modes/") + name;
+    require(modes.has(name), "missing " + where);
+    const JsonValue& mode = modes.at(name);
+    require(mode.is_object(), where + " is not an object");
+    check_series(mode, "per_epoch_congestion", epochs, where);
+    check_series(mode, "per_epoch_churn", epochs, where);
+    check_series(mode, "per_epoch_solve_ms", epochs, where);
+    check_member(mode, "total_solve_ms", JsonValue::Kind::kNumber, "number");
+    require(mode.at("total_solve_ms").as_number() >= 0,
+            where + "/total_solve_ms is negative");
+    check_member(mode, "warm_accepts", JsonValue::Kind::kNumber, "number");
+    require(mode.at("warm_accepts").as_number() >= 0,
+            where + "/warm_accepts is negative");
   }
 }
 
@@ -100,9 +159,17 @@ int main(int argc, char** argv) {
 
   check_member(doc, "spans", JsonValue::Kind::kArray, "array");
   const JsonValue& spans = doc.at("spans");
+  std::set<std::string> root_names;
   for (std::size_t i = 0; i < spans.size(); ++i) {
-    check_span_node(spans.at(i), "spans[" + std::to_string(i) + "]");
+    const std::string where = "spans[" + std::to_string(i) + "]";
+    check_span_node(spans.at(i), where);
+    const std::string name = spans.at(i).at("name").as_string();
+    require(root_names.insert(name).second,
+            where + " duplicates root span \"" + name +
+                "\" (mismatched open/close nesting)");
   }
+
+  if (doc.at("experiment").as_string() == "E16") check_e16(doc);
 
   std::printf("%s: ok (%zu spans, %zu counters)\n", argv[1], spans.size(),
               doc.at("telemetry").at("counters").size());

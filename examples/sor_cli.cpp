@@ -2,19 +2,35 @@
 //
 // Usage:
 //   sor_cli --graph <edge-list file> [--demand <demand file>] [options]
+//   sor_cli engine run    [engine options]
+//   sor_cli engine replay --record FILE [--digest FILE] [--trace]
 //
 // Options:
 //   --graph FILE      edge-list graph: first line "<n>", then "u v [cap]"
 //   --demand FILE     demand file: "s t amount" lines; default: gravity
 //   --k N             sampled paths per pair            (default 4)
 //   --source NAME     racke | ksp | electrical | sp     (default racke)
-//   --seed N          RNG seed                          (default 1)
+//   --seed N          RNG seed threaded through every random component
+//                     (sampling, rounding, simulation, trace generation,
+//                     demand stream) so runs reproduce bit-for-bit
 //   --integral        round to one path per demand unit and simulate
 //   --dump-paths FILE write the installed path system as vertex lists
 //   --trace           print the hierarchical span-timing tree at exit
 //
+// Engine options (sor_cli engine run):
+//   --wan NAME        abilene | b4 | geant (default abilene), or --graph FILE
+//   --epochs N        control-loop length                (default 32)
+//   --k/--source/--seed as above (source: racke | ksp | sp)
+//   --predictor NAME  ewma | peak                        (default ewma)
+//   --backend NAME    mwu | exact                        (default mwu)
+//   --churn-budget N  per-epoch path install budget      (default 8)
+//   --cold            disable warm-started re-solves
+//   --record FILE     save the run record (trace + config) for replay
+//   --digest FILE     write the deterministic run digest (JSON)
+//
 // Prints the installed system's statistics, the achieved congestion, the
-// offline optimum, and the competitive ratio.
+// offline optimum, and the competitive ratio; `engine run` prints the
+// per-epoch control-loop report instead.
 
 #include <cstring>
 #include <fstream>
@@ -27,6 +43,7 @@
 #include "core/sampler.hpp"
 #include "demand/generators.hpp"
 #include "demand/io.hpp"
+#include "engine/replay.hpp"
 #include "graph/io.hpp"
 #include "oblivious/electrical.hpp"
 #include "oblivious/ksp.hpp"
@@ -35,6 +52,7 @@
 #include "sim/packet_sim.hpp"
 #include "telemetry/span.hpp"
 #include "util/stopwatch.hpp"
+#include "util/table.hpp"
 
 namespace {
 
@@ -106,9 +124,162 @@ std::unique_ptr<sor::ObliviousRouting> make_source(const std::string& name,
   usage(("unknown source " + name).c_str());
 }
 
+[[noreturn]] void engine_usage(const char* msg = nullptr) {
+  if (msg != nullptr) std::cerr << "error: " << msg << "\n";
+  std::cerr << "usage: sor_cli engine run [--wan abilene|b4|geant] "
+               "[--graph FILE] [--k N] [--source racke|ksp|sp] [--seed N] "
+               "[--epochs N] [--predictor ewma|peak] [--backend mwu|exact] "
+               "[--churn-budget N] [--cold] [--record FILE] [--digest FILE] "
+               "[--trace]\n"
+               "       sor_cli engine replay --record FILE [--digest FILE] "
+               "[--trace]\n";
+  std::exit(2);
+}
+
+void print_engine_result(const sor::engine::EngineRunRecord& record,
+                         const sor::engine::ControlLoopResult& result) {
+  sor::Table table({"epoch", "events", "fail", "pred_err", "congestion",
+                    "warm", "phases", "churn", "solve_ms"});
+  for (const sor::engine::EpochReport& r : result.epochs) {
+    table.add_row(
+        {sor::Table::fmt_int(static_cast<long long>(r.epoch)),
+         sor::Table::fmt_int(static_cast<long long>(r.events)),
+         sor::Table::fmt_int(static_cast<long long>(r.active_failures)),
+         sor::Table::fmt(r.prediction_error, 4), sor::Table::fmt(r.congestion, 4),
+         std::string(r.warm_accepted ? "yes" : "no"),
+         sor::Table::fmt_int(static_cast<long long>(r.phases)),
+         sor::Table::fmt_int(static_cast<long long>(r.repair.churn())),
+         sor::Table::fmt(r.solve_ms, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "epochs: " << result.epochs.size()
+            << ", events: " << record.trace.events.size()
+            << ", warm accepts: " << result.warm_accepts
+            << ", total churn: " << result.total_churn << "\n";
+  std::cout << "congestion p50/p95/max: " << result.congestion_summary.p50
+            << " / " << result.congestion_summary.p95 << " / "
+            << result.congestion_summary.max << "\n";
+  std::cout << "prediction error mean: "
+            << result.prediction_error_summary.mean << "\n";
+  std::cout << "total solve time: " << result.total_solve_ms << " ms\n";
+}
+
+void write_digest(const std::string& path,
+                  const sor::engine::EngineRunRecord& record,
+                  const sor::engine::ControlLoopResult& result) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "error: cannot write digest to " << path << "\n";
+    std::exit(1);
+  }
+  os << sor::engine::digest_json(record, result).dump(2) << "\n";
+  std::cout << "wrote digest to " << path << "\n";
+}
+
+int engine_main(int argc, char** argv) {
+  if (argc < 3) engine_usage("engine needs a subcommand: run | replay");
+  const std::string sub = argv[2];
+
+  sor::engine::EngineRunConfig config;
+  std::string record_path;
+  std::string digest_path;
+  bool trace_spans = false;
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) engine_usage(("missing value for " + flag).c_str());
+      return argv[++i];
+    };
+    if (flag == "--wan") {
+      config.topology = "wan:" + value();
+    } else if (flag == "--graph") {
+      config.topology = "file:" + value();
+    } else if (flag == "--k") {
+      config.k = std::stoull(value());
+    } else if (flag == "--source") {
+      config.source = value();
+    } else if (flag == "--seed") {
+      config.seed = std::stoull(value());
+    } else if (flag == "--epochs") {
+      config.trace.num_epochs = std::stoull(value());
+    } else if (flag == "--predictor") {
+      const std::string v = value();
+      if (v == "ewma") {
+        config.engine.predictor = sor::engine::PredictorKind::kEwma;
+      } else if (v == "peak") {
+        config.engine.predictor = sor::engine::PredictorKind::kPeak;
+      } else {
+        engine_usage(("unknown predictor " + v).c_str());
+      }
+    } else if (flag == "--backend") {
+      const std::string v = value();
+      if (v == "mwu") {
+        config.engine.backend = sor::engine::EngineBackend::kMwu;
+      } else if (v == "exact") {
+        config.engine.backend = sor::engine::EngineBackend::kExact;
+      } else {
+        engine_usage(("unknown backend " + v).c_str());
+      }
+    } else if (flag == "--churn-budget") {
+      config.engine.repair.churn_budget = std::stoull(value());
+    } else if (flag == "--cold") {
+      config.engine.warm_start = false;
+    } else if (flag == "--record") {
+      record_path = value();
+    } else if (flag == "--digest") {
+      digest_path = value();
+    } else if (flag == "--trace") {
+      trace_spans = true;
+    } else {
+      engine_usage(("unknown flag " + flag).c_str());
+    }
+  }
+
+  if (sub == "run") {
+    if (config.k == 0) engine_usage("--k must be positive");
+    if (config.trace.num_epochs == 0) {
+      engine_usage("--epochs must be positive");
+    }
+    const sor::engine::EngineRunOutput out =
+        sor::engine::run_from_config(config);
+    print_engine_result(out.record, out.result);
+    if (!record_path.empty()) {
+      std::ofstream os(record_path);
+      if (!os) {
+        std::cerr << "error: cannot write record to " << record_path << "\n";
+        return 1;
+      }
+      sor::engine::save_record(out.record, os);
+      std::cout << "wrote run record to " << record_path << "\n";
+    }
+    if (!digest_path.empty()) write_digest(digest_path, out.record, out.result);
+  } else if (sub == "replay") {
+    if (record_path.empty()) engine_usage("replay requires --record FILE");
+    std::ifstream is(record_path);
+    if (!is) {
+      std::cerr << "error: cannot read record " << record_path << "\n";
+      return 1;
+    }
+    const sor::engine::EngineRunRecord record = sor::engine::load_record(is);
+    const sor::engine::ControlLoopResult result =
+        sor::engine::replay_record(record);
+    print_engine_result(record, result);
+    if (!digest_path.empty()) write_digest(digest_path, record, result);
+  } else {
+    engine_usage(("unknown engine subcommand " + sub).c_str());
+  }
+  if (trace_spans) {
+    std::cout << "\nspan timings:\n" << sor::telemetry::span_tree_text();
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "engine") == 0) {
+    return engine_main(argc, argv);
+  }
   const Args args = parse(argc, argv);
 
   const sor::Graph g = sor::load_graph(args.graph_path);

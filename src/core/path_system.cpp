@@ -111,6 +111,95 @@ double mean_pairwise_overlap(const PathSystem& system) {
   return counted == 0 ? 0.0 : total / static_cast<double>(counted);
 }
 
+PathActivation::PathActivation(const PathSystem& system) : system_(&system) {}
+
+void PathActivation::set_active(Vertex s, Vertex t, std::size_t index,
+                                bool active) {
+  SOR_CHECK(system_ != nullptr);
+  const VertexPair pair = VertexPair::canonical(s, t);
+  const auto paths = system_->canonical_paths(s, t);
+  SOR_CHECK_MSG(index < paths.size(),
+                "activation index out of range for pair (" << pair.a << ","
+                                                           << pair.b << ")");
+  auto it = base_.find(pair);
+  if (it == base_.end()) {
+    it = base_.emplace(pair, std::vector<char>(paths.size(), 1)).first;
+  }
+  it->second[index] = active ? 1 : 0;
+}
+
+bool PathActivation::is_active(Vertex s, Vertex t, std::size_t index) const {
+  const auto it = base_.find(VertexPair::canonical(s, t));
+  if (it == base_.end()) return true;
+  SOR_CHECK(index < it->second.size());
+  return it->second[index] != 0;
+}
+
+std::size_t PathActivation::add_extra(Path path) {
+  SOR_CHECK(system_ != nullptr);
+  SOR_CHECK_MSG(path.src != path.dst, "trivial fallback path");
+  if (path.src > path.dst) path = reversed(path);
+  auto& list = extras_[VertexPair{path.src, path.dst}];
+  list.push_back(Extra{std::move(path), true});
+  return list.size() - 1;
+}
+
+std::size_t PathActivation::num_extras(Vertex s, Vertex t) const {
+  const auto it = extras_.find(VertexPair::canonical(s, t));
+  return it == extras_.end() ? 0 : it->second.size();
+}
+
+const Path& PathActivation::extra_path(Vertex s, Vertex t,
+                                       std::size_t index) const {
+  const auto it = extras_.find(VertexPair::canonical(s, t));
+  SOR_CHECK(it != extras_.end() && index < it->second.size());
+  return it->second[index].path;
+}
+
+void PathActivation::set_extra_active(Vertex s, Vertex t, std::size_t index,
+                                      bool active) {
+  const auto it = extras_.find(VertexPair::canonical(s, t));
+  SOR_CHECK(it != extras_.end() && index < it->second.size());
+  it->second[index].active = active;
+}
+
+bool PathActivation::is_extra_active(Vertex s, Vertex t,
+                                     std::size_t index) const {
+  const auto it = extras_.find(VertexPair::canonical(s, t));
+  SOR_CHECK(it != extras_.end() && index < it->second.size());
+  return it->second[index].active;
+}
+
+std::vector<Path> PathActivation::active_oriented(Vertex s, Vertex t) const {
+  SOR_CHECK(system_ != nullptr);
+  std::vector<Path> out;
+  const auto paths = system_->canonical_paths(s, t);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (!is_active(s, t, i)) continue;
+    out.push_back(paths[i].src == s ? paths[i] : reversed(paths[i]));
+  }
+  const auto it = extras_.find(VertexPair::canonical(s, t));
+  if (it != extras_.end()) {
+    for (const Extra& extra : it->second) {
+      if (!extra.active) continue;
+      out.push_back(extra.path.src == s ? extra.path : reversed(extra.path));
+    }
+  }
+  return out;
+}
+
+std::size_t PathActivation::num_active(Vertex s, Vertex t) const {
+  SOR_CHECK(system_ != nullptr);
+  std::size_t count = 0;
+  const auto paths = system_->canonical_paths(s, t);
+  for (std::size_t i = 0; i < paths.size(); ++i) count += is_active(s, t, i);
+  const auto it = extras_.find(VertexPair::canonical(s, t));
+  if (it != extras_.end()) {
+    for (const Extra& extra : it->second) count += extra.active;
+  }
+  return count;
+}
+
 PathSystem merge(const PathSystem& a, const PathSystem& b) {
   PathSystem out = a;
   for (const VertexPair& pair : b.pairs()) {

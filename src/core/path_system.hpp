@@ -54,6 +54,52 @@ class PathSystem {
   std::unordered_map<VertexPair, std::vector<Path>, VertexPairHash> paths_;
 };
 
+/// Activation mask over a PathSystem — the control plane's view of which
+/// installed candidates are currently usable. Link failures deactivate
+/// candidates, recoveries reactivate them, and fallback paths installed
+/// at runtime ride along as "extras" with their own flags. The mask never
+/// mutates the underlying system, so per-candidate state keyed by (pair,
+/// index) — e.g. the TE engine's warm-start split fractions — stays valid
+/// across epochs. Base candidates are addressed by their index into
+/// canonical_paths(pair); pairs without an explicit mask are fully active.
+class PathActivation {
+ public:
+  PathActivation() = default;
+  /// Views `system` (not copied; must outlive the mask). All active.
+  explicit PathActivation(const PathSystem& system);
+
+  const PathSystem* system() const { return system_; }
+
+  /// Flags base candidate `index` of the pair {s,t}.
+  void set_active(Vertex s, Vertex t, std::size_t index, bool active);
+  bool is_active(Vertex s, Vertex t, std::size_t index) const;
+
+  /// Installs a fallback path (any orientation; canonicalized), initially
+  /// active. Returns its extra index within the pair.
+  std::size_t add_extra(Path path);
+  std::size_t num_extras(Vertex s, Vertex t) const;
+  /// The extra path in canonical orientation.
+  const Path& extra_path(Vertex s, Vertex t, std::size_t index) const;
+  void set_extra_active(Vertex s, Vertex t, std::size_t index, bool active);
+  bool is_extra_active(Vertex s, Vertex t, std::size_t index) const;
+
+  /// Active candidates oriented s→t: active base candidates (in canonical
+  /// index order) followed by active extras.
+  std::vector<Path> active_oriented(Vertex s, Vertex t) const;
+  /// Count of active candidates (base + extras) for the pair.
+  std::size_t num_active(Vertex s, Vertex t) const;
+
+ private:
+  const PathSystem* system_ = nullptr;
+  // Lazily materialized per-pair flags; absent entry = all active.
+  std::unordered_map<VertexPair, std::vector<char>, VertexPairHash> base_;
+  struct Extra {
+    Path path;  // canonical orientation
+    bool active = true;
+  };
+  std::unordered_map<VertexPair, std::vector<Extra>, VertexPairHash> extras_;
+};
+
 /// Reverses a path in place representation (returns the reversed copy).
 Path reversed(const Path& p);
 

@@ -17,6 +17,12 @@ SemiObliviousRouter::SemiObliviousRouter(const Graph& g,
   SOR_CHECK(options.epsilon > 0 && options.epsilon < 1);
 }
 
+void SemiObliviousRouter::set_activation(const PathActivation* activation) {
+  SOR_CHECK_MSG(activation == nullptr || activation->system() == system_,
+                "activation mask views a different path system");
+  activation_ = activation;
+}
+
 RestrictedProblem SemiObliviousRouter::build_problem(
     const Demand& demand) const {
   RestrictedProblem problem;
@@ -24,7 +30,9 @@ RestrictedProblem SemiObliviousRouter::build_problem(
   for (const Commodity& c : demand.commodities()) {
     RestrictedCommodity rc;
     rc.demand = c.amount;
-    rc.candidates = system_->paths_oriented(c.src, c.dst);
+    rc.candidates = activation_ != nullptr
+                        ? activation_->active_oriented(c.src, c.dst)
+                        : system_->paths_oriented(c.src, c.dst);
     if (rc.candidates.empty()) {
       SOR_CHECK_MSG(options_.add_shortest_fallback,
                     "no candidate paths for pair (" << c.src << "," << c.dst

@@ -67,6 +67,15 @@ class SemiObliviousRouter {
   const Graph& graph() const { return *graph_; }
   const PathSystem& system() const { return *system_; }
 
+  /// Restricts candidate generation to the active paths of `activation`
+  /// (must view this router's path system; referenced, not copied; pass
+  /// nullptr to clear). The TE engine's failure-repair hook: candidates
+  /// masked out by link failures disappear from the LP, fallback extras
+  /// appear, and a pair left with zero active candidates follows the
+  /// add_shortest_fallback contract.
+  void set_activation(const PathActivation* activation);
+  const PathActivation* activation() const { return activation_; }
+
   /// Optimal (or (1+ε)-approximate) fractional rates for `demand`.
   FractionalRoute route_fractional(const Demand& demand) const;
 
@@ -85,6 +94,7 @@ class SemiObliviousRouter {
 
   const Graph* graph_;
   const PathSystem* system_;
+  const PathActivation* activation_ = nullptr;
   RouterOptions options_;
 };
 

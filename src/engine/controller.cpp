@@ -1,0 +1,223 @@
+#include "engine/controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "telemetry/span.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/stopwatch.hpp"
+
+namespace sor::engine {
+
+EpochController::EpochController(const Graph& g, const PathSystem& system,
+                                 EngineOptions options)
+    : graph_(&g),
+      system_(&system),
+      options_(options),
+      repairer_(g, system, options.repair),
+      predictor_(make_predictor(options.predictor, options.ewma_alpha,
+                                options.peak_window)) {
+  SOR_CHECK(options.epsilon > 0 && options.epsilon < 1);
+}
+
+RestrictedProblem EpochController::build_problem(const Demand& demand) const {
+  RestrictedProblem problem;
+  problem.graph = graph_;
+  const PathActivation& activation = repairer_.activation();
+  for (const Commodity& c : demand.commodities()) {
+    RestrictedCommodity rc;
+    rc.demand = c.amount;
+    rc.candidates = activation.active_oriented(c.src, c.dst);
+    if (rc.candidates.empty()) {
+      // Pair outside the installed system (or its mandatory fallback was
+      // unreachable) — last-resort surviving-graph shortest path, the
+      // engine-side mirror of RouterOptions::add_shortest_fallback.
+      Path fallback = repairer_.surviving_shortest_path(c.src, c.dst);
+      SOR_CHECK_MSG(fallback.src != kInvalidVertex,
+                    "pair (" << c.src << "," << c.dst
+                             << ") disconnected on the surviving graph");
+      SOR_COUNTER("engine/adhoc_fallbacks").add();
+      rc.candidates.push_back(std::move(fallback));
+    }
+    problem.commodities.push_back(std::move(rc));
+  }
+  return problem;
+}
+
+std::vector<std::vector<double>> EpochController::remap_fractions(
+    const RestrictedProblem& problem) const {
+  std::vector<std::vector<double>> fractions(problem.commodities.size());
+  for (std::size_t j = 0; j < problem.commodities.size(); ++j) {
+    const RestrictedCommodity& c = problem.commodities[j];
+    fractions[j].assign(c.candidates.size(), 0.0);
+    const VertexPair pair = VertexPair::canonical(c.candidates.front().src,
+                                                  c.candidates.front().dst);
+    const auto it = installed_.find(pair);
+    if (it == installed_.end()) continue;
+    for (std::size_t p = 0; p < c.candidates.size(); ++p) {
+      // Split fractions are stored on the canonical orientation so both
+      // directions of a pair share state.
+      const Path key = c.candidates[p].src < c.candidates[p].dst
+                           ? c.candidates[p]
+                           : reversed(c.candidates[p]);
+      const auto entry = it->second.find(key);
+      if (entry != it->second.end()) fractions[j][p] = entry->second;
+    }
+  }
+  return fractions;
+}
+
+void EpochController::install(const RestrictedProblem& problem,
+                              const RestrictedSolution& solution) {
+  installed_.clear();
+  for (std::size_t j = 0; j < problem.commodities.size(); ++j) {
+    const RestrictedCommodity& c = problem.commodities[j];
+    const VertexPair pair = VertexPair::canonical(c.candidates.front().src,
+                                                  c.candidates.front().dst);
+    auto& split = installed_[pair];
+    for (std::size_t p = 0; p < c.candidates.size(); ++p) {
+      if (solution.weights[j][p] <= 0) continue;
+      const Path key = c.candidates[p].src < c.candidates[p].dst
+                           ? c.candidates[p]
+                           : reversed(c.candidates[p]);
+      split[key] += solution.weights[j][p] / c.demand;
+    }
+  }
+  if (!solution.dual_lengths.empty()) warm_lengths_ = solution.dual_lengths;
+}
+
+EpochReport EpochController::step(std::span<const Event> events,
+                                  const Demand& realized) {
+  SOR_SPAN("engine/epoch");
+  EpochReport report;
+  report.epoch = epoch_++;
+  report.events = events.size();
+  report.realized_total = realized.total();
+
+  {
+    SOR_SPAN("engine/repair");
+    std::vector<VertexPair> support;
+    for (const auto& [pair, amount] : realized.entries()) {
+      support.push_back(pair);
+    }
+    std::sort(support.begin(), support.end(),
+              [](const VertexPair& x, const VertexPair& y) {
+                return std::tie(x.a, x.b) < std::tie(y.a, y.b);
+              });
+    report.repair = repairer_.apply_epoch(events, support);
+  }
+  report.active_failures = repairer_.failed_edges();
+
+  // Predict; bootstrap epoch routes the realized matrix directly.
+  Demand target;
+  {
+    SOR_SPAN("engine/predict");
+    if (predictor_->observations() == 0) {
+      target = realized;
+    } else {
+      target = predictor_->predict();
+      report.prediction_error = relative_l1_error(target, realized);
+    }
+  }
+  report.predicted_total = target.total();
+
+  const RestrictedProblem problem = build_problem(target);
+  RestrictedSolution solution;
+  {
+    SOR_SPAN("engine/solve");
+    Stopwatch clock;
+    const bool have_warm = options_.warm_start && !installed_.empty() &&
+                           !warm_lengths_.empty();
+    RestrictedWarmStart warm;
+    if (have_warm) {
+      warm.fractions = remap_fractions(problem);
+      warm.lengths = warm_lengths_;
+    }
+    if (options_.backend == EngineBackend::kMwu) {
+      RestrictedMwuOptions mwu;
+      mwu.epsilon = options_.epsilon;
+      if (have_warm) mwu.warm = &warm;
+      solution = solve_restricted_mwu(problem, mwu);
+    } else {
+      // Exact backend: the dense simplex has no basis-input hook, so the
+      // warm start is the accept test alone — reuse the installed split
+      // if the warm lengths already certify it, else re-solve cold.
+      bool accepted = false;
+      if (have_warm) {
+        RestrictedSolution reused =
+            route_restricted_fractions(problem, warm.fractions);
+        const double lb = restricted_dual_bound(problem, warm.lengths);
+        if (lb > 0 && reused.congestion <= (1.0 + options_.epsilon) * lb) {
+          reused.lower_bound = lb;
+          reused.warm_accepted = true;
+          reused.dual_lengths = warm.lengths;
+          solution = std::move(reused);
+          accepted = true;
+          SOR_COUNTER("lp/warm_accepts").add();
+        }
+      }
+      if (!accepted) solution = solve_restricted_exact(problem);
+    }
+    report.solve_ms = clock.milliseconds();
+  }
+  report.solver_congestion = solution.congestion;
+  report.lower_bound = solution.lower_bound;
+  report.warm_accepted = solution.warm_accepted;
+  report.phases = solution.phases;
+  if (solution.warm_accepted) SOR_COUNTER("engine/warm_accepts").add();
+
+  install(problem, solution);
+
+  // The realized matrix rides the installed split.
+  if (predictor_->observations() == 0) {
+    report.congestion = solution.congestion;
+  } else {
+    const RestrictedProblem realized_problem = build_problem(realized);
+    const RestrictedSolution applied = route_restricted_fractions(
+        realized_problem, remap_fractions(realized_problem));
+    report.congestion = applied.congestion;
+  }
+  SOR_GAUGE("engine/last_congestion").set(report.congestion);
+  SOR_COUNTER("engine/epochs").add();
+
+  predictor_->observe(realized);
+  return report;
+}
+
+ControlLoopResult run_control_loop(const Graph& g, const PathSystem& system,
+                                   const EventTrace& trace,
+                                   const DemandStreamOptions& stream_options,
+                                   const EngineOptions& options,
+                                   std::uint64_t seed) {
+  SOR_SPAN("engine/control_loop");
+  // Disjoint sub-seeds for the demand stream (the trace generator used
+  // `seed` directly; replay must not re-correlate them).
+  std::uint64_t state = seed;
+  const std::uint64_t stream_seed = splitmix64(state);
+
+  DemandStream stream(g, stream_options, stream_seed);
+  EpochController controller(g, system, options);
+  ControlLoopResult result;
+  std::vector<double> congestions;
+
+  for (std::size_t t = 0; t < trace.num_epochs; ++t) {
+    const std::span<const Event> events = trace.events_at(t);
+    for (const Event& event : events) {
+      if (event.kind == EventKind::kDemandDrift) {
+        stream.apply_drift(event.drift_sigma, event.drift_stream);
+      }
+    }
+    const Demand realized = stream.at_epoch(t);
+    EpochReport report = controller.step(events, realized);
+    result.total_solve_ms += report.solve_ms;
+    result.warm_accepts += report.warm_accepted ? 1 : 0;
+    result.total_churn += report.repair.churn();
+    congestions.push_back(report.congestion);
+    result.epochs.push_back(std::move(report));
+  }
+  result.congestion_summary = summarize(congestions);
+  result.prediction_error_summary = controller.prediction_errors();
+  return result;
+}
+
+}  // namespace sor::engine

@@ -1,0 +1,128 @@
+#pragma once
+
+// The epoch-based semi-oblivious TE control loop.
+//
+// Per epoch the controller:
+//   1. applies the epoch's failure/recovery events and repairs the path
+//      system (activation masks + budgeted fallbacks, engine/repair);
+//   2. predicts the epoch's demand from history (engine/predictor);
+//   3. re-solves the restricted path LP for the predicted matrix,
+//      warm-started with the previous epoch's split fractions and MWU
+//      dual lengths (src/lp warm entry points) — the semi-oblivious
+//      payoff: same sparse path system, cheap re-optimization;
+//   4. installs the resulting split and measures the congestion the
+//      *realized* matrix experiences under it;
+//   5. feeds the realized matrix back into the predictor and saves the
+//      warm-start state for the next epoch.
+//
+// Everything is deterministic given the trace and the seed, which is what
+// makes trace replay (engine/replay) byte-identical.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/path_system.hpp"
+#include "engine/event_trace.hpp"
+#include "engine/predictor.hpp"
+#include "engine/repair.hpp"
+#include "lp/path_lp.hpp"
+
+namespace sor::engine {
+
+enum class EngineBackend { kMwu, kExact };
+
+struct EngineOptions {
+  EngineBackend backend = EngineBackend::kMwu;
+  double epsilon = 0.05;
+  /// Warm-start each epoch's solve from the previous epoch's state. Off =
+  /// cold re-solve every epoch (the bench's comparison mode).
+  bool warm_start = true;
+  PredictorKind predictor = PredictorKind::kEwma;
+  double ewma_alpha = 0.5;
+  std::size_t peak_window = 4;
+  RepairOptions repair;
+};
+
+struct EpochReport {
+  std::size_t epoch = 0;
+  std::size_t events = 0;
+  std::size_t active_failures = 0;
+  double realized_total = 0;
+  double predicted_total = 0;
+  /// Relative L1 gap between prediction and realization (0 on the
+  /// bootstrap epoch, which routes the realized matrix directly).
+  double prediction_error = 0;
+  /// Congestion the realized matrix experiences under the installed
+  /// split — the number the network actually sees.
+  double congestion = 0;
+  /// Congestion of the solver's own (predicted) matrix.
+  double solver_congestion = 0;
+  /// Duality lower bound certified by this epoch's solve.
+  double lower_bound = 0;
+  bool warm_accepted = false;
+  std::size_t phases = 0;
+  RepairReport repair;
+  /// Wall clock of the LP solve — the only nondeterministic field; the
+  /// replay digest excludes it.
+  double solve_ms = 0;
+};
+
+class EpochController {
+ public:
+  /// `g` and `system` are referenced and must outlive the controller.
+  EpochController(const Graph& g, const PathSystem& system,
+                  EngineOptions options = {});
+
+  /// Runs one epoch. `events` are this epoch's trace events (drift events
+  /// must already be applied to whatever produced `realized`).
+  EpochReport step(std::span<const Event> events, const Demand& realized);
+
+  const PathActivation& activation() const { return repairer_.activation(); }
+  const PathRepairer& repairer() const { return repairer_; }
+  StatsSummary prediction_errors() const { return predictor_->error_summary(); }
+  std::size_t epochs_run() const { return epoch_; }
+
+ private:
+  RestrictedProblem build_problem(const Demand& demand) const;
+  /// Previous-epoch split fractions remapped onto `problem`'s candidate
+  /// lists by path identity (0 for paths never routed before).
+  std::vector<std::vector<double>> remap_fractions(
+      const RestrictedProblem& problem) const;
+  void install(const RestrictedProblem& problem,
+               const RestrictedSolution& solution);
+
+  const Graph* graph_;
+  const PathSystem* system_;
+  EngineOptions options_;
+  PathRepairer repairer_;
+  std::unique_ptr<DemandPredictor> predictor_;
+  std::size_t epoch_ = 0;
+  /// Installed split: pair → (path → fraction of the pair's demand).
+  std::unordered_map<VertexPair, std::unordered_map<Path, double, PathHash>,
+                     VertexPairHash>
+      installed_;
+  std::vector<double> warm_lengths_;
+};
+
+struct ControlLoopResult {
+  std::vector<EpochReport> epochs;
+  double total_solve_ms = 0;
+  std::size_t warm_accepts = 0;
+  std::size_t total_churn = 0;
+  StatsSummary congestion_summary;
+  StatsSummary prediction_error_summary;
+};
+
+/// Drives a controller over a full trace: realized matrices from the
+/// demand stream (drift events applied as they fire), repair/solve per
+/// epoch. Deterministic in (g, system, trace, options, seed).
+ControlLoopResult run_control_loop(const Graph& g, const PathSystem& system,
+                                   const EventTrace& trace,
+                                   const DemandStreamOptions& stream_options,
+                                   const EngineOptions& options,
+                                   std::uint64_t seed);
+
+}  // namespace sor::engine

@@ -1,0 +1,125 @@
+#pragma once
+
+// Deterministic event traces for the epoch-based TE control loop.
+//
+// A trace is the environment half of a control-loop run: which links fail
+// and recover at which epoch, and when the demand distribution drifts.
+// Traces are generated pseudo-randomly from a 64-bit seed (failures never
+// disconnect the surviving graph, mirroring core/failures.hpp), serialized
+// to a versioned text format, and replayed byte-identically — the engine's
+// debugging story is "save the trace, re-run the controller".
+//
+// The demand side lives here too: DemandStream produces the realized
+// per-epoch demand matrix as a pure function of (seed, epoch, drift
+// state), so a replay of the same trace regenerates the same matrices
+// without recording them.
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "demand/demand.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace sor::engine {
+
+enum class EventKind { kLinkFailure, kLinkRecovery, kDemandDrift };
+
+struct Event {
+  std::size_t epoch = 0;
+  EventKind kind = EventKind::kLinkFailure;
+  /// Failure/recovery target (kInvalidEdge for drift events).
+  EdgeId edge = kInvalidEdge;
+  /// Drift magnitude (kDemandDrift only).
+  double drift_sigma = 0;
+  /// RNG stream id regenerating the drift factors (kDemandDrift only).
+  std::uint64_t drift_stream = 0;
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+struct EventTrace {
+  std::size_t num_epochs = 0;
+  /// Sorted by epoch (stable within an epoch: recoveries before failures
+  /// before drift, as generated).
+  std::vector<Event> events;
+
+  /// The contiguous run of events scheduled for `epoch`.
+  std::span<const Event> events_at(std::size_t epoch) const;
+
+  friend bool operator==(const EventTrace&, const EventTrace&) = default;
+};
+
+struct TraceOptions {
+  std::size_t num_epochs = 32;
+  /// Per-epoch probability that one more link fails.
+  double p_failure = 0.15;
+  /// Expected epochs a failed link stays down (uniform in
+  /// [1, 2·mean_downtime − 1]).
+  double mean_downtime = 4.0;
+  /// Per-epoch probability of a demand-drift event.
+  double p_drift = 0.2;
+  /// Multiplicative per-pair drift magnitude exp(σ·N(0,1)).
+  double drift_sigma = 0.4;
+  /// Cap on simultaneously failed links.
+  std::size_t max_concurrent_failures = 2;
+
+  friend bool operator==(const TraceOptions&, const TraceOptions&) = default;
+};
+
+/// Generates a trace. Deterministic in (g, options, seed); failures are
+/// only drawn among edges whose removal keeps the surviving subgraph
+/// connected, so the control loop never faces a partitioned network.
+EventTrace generate_trace(const Graph& g, const TraceOptions& options,
+                          std::uint64_t seed);
+
+/// Serialization (versioned text; exact double round-trip). load_trace
+/// throws CheckError on malformed input.
+void save_trace(const EventTrace& trace, std::ostream& os);
+EventTrace load_trace(std::istream& is);
+
+struct DemandStreamOptions {
+  /// Total demand of the base gravity matrix.
+  double total = 64.0;
+  /// Per-epoch multiplicative jitter exp(σ·N(0,1)) on every entry.
+  double jitter_sigma = 0.05;
+
+  friend bool operator==(const DemandStreamOptions&,
+                         const DemandStreamOptions&) = default;
+};
+
+/// Deterministic demand process: a fixed gravity base, per-pair drift
+/// factors mutated by kDemandDrift events, and fresh per-epoch jitter.
+/// at_epoch(t) is a pure function of (seed, t, drift events applied), so
+/// replaying the same trace regenerates identical matrices.
+class DemandStream {
+ public:
+  DemandStream(const Graph& g, const DemandStreamOptions& options,
+               std::uint64_t seed);
+
+  /// Realized demand for epoch `epoch` under the current drift state.
+  Demand at_epoch(std::size_t epoch) const;
+
+  /// Applies a drift event: every pair's factor multiplies by
+  /// exp(sigma·N(0,1)) drawn from the stream-id's dedicated RNG.
+  void apply_drift(double sigma, std::uint64_t stream);
+
+ private:
+  DemandStreamOptions options_;
+  std::uint64_t seed_;
+  /// (pair, base amount, drift factor) in sorted pair order — the
+  /// iteration order every RNG draw is tied to.
+  struct Entry {
+    VertexPair pair;
+    double base;
+    double factor;
+  };
+  std::vector<Entry> entries_;
+};
+
+/// Standard normal via Box–Muller (consumes two uniforms per call).
+double next_gaussian(Rng& rng);
+
+}  // namespace sor::engine

@@ -1,0 +1,99 @@
+#include "engine/predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace sor::engine {
+
+double relative_l1_error(const Demand& predicted, const Demand& realized) {
+  double diff = 0;
+  for (const auto& [pair, amount] : realized.entries()) {
+    diff += std::abs(predicted.at(pair.a, pair.b) - amount);
+  }
+  for (const auto& [pair, amount] : predicted.entries()) {
+    if (realized.at(pair.a, pair.b) == 0) diff += amount;
+  }
+  const double total = realized.total();
+  return total > 0 ? diff / total : 0.0;
+}
+
+void DemandPredictor::observe(const Demand& realized) {
+  if (observations_ > 0) {
+    errors_.push_back(relative_l1_error(predict_impl(), realized));
+  }
+  update(realized);
+  ++observations_;
+}
+
+Demand DemandPredictor::predict() const {
+  return observations_ == 0 ? Demand{} : predict_impl();
+}
+
+EwmaPredictor::EwmaPredictor(double alpha) : alpha_(alpha) {
+  SOR_CHECK(alpha > 0 && alpha <= 1);
+}
+
+std::string EwmaPredictor::name() const { return "ewma"; }
+
+void EwmaPredictor::update(const Demand& realized) {
+  if (observations() == 0) {
+    state_ = realized;
+    return;
+  }
+  Demand next;
+  for (const auto& [pair, amount] : state_.entries()) {
+    const double blended =
+        (1.0 - alpha_) * amount + alpha_ * realized.at(pair.a, pair.b);
+    next.add(pair.a, pair.b, blended);
+  }
+  for (const auto& [pair, amount] : realized.entries()) {
+    if (state_.at(pair.a, pair.b) == 0) {
+      next.add(pair.a, pair.b, alpha_ * amount);
+    }
+  }
+  state_ = std::move(next);
+}
+
+Demand EwmaPredictor::predict_impl() const { return state_; }
+
+PeakPredictor::PeakPredictor(std::size_t window) : window_(window) {
+  SOR_CHECK(window > 0);
+}
+
+std::string PeakPredictor::name() const { return "peak"; }
+
+void PeakPredictor::update(const Demand& realized) {
+  history_.push_back(realized);
+  if (history_.size() > window_) history_.pop_front();
+}
+
+Demand PeakPredictor::predict_impl() const {
+  Demand peak;
+  // Collect the union support, then take the per-pair max.
+  for (const Demand& d : history_) {
+    for (const auto& [pair, amount] : d.entries()) {
+      const double current = peak.at(pair.a, pair.b);
+      if (amount > current) {
+        peak.add(pair.a, pair.b, amount - current);
+      }
+    }
+  }
+  return peak;
+}
+
+std::unique_ptr<DemandPredictor> make_predictor(PredictorKind kind,
+                                                double ewma_alpha,
+                                                std::size_t peak_window) {
+  switch (kind) {
+    case PredictorKind::kEwma:
+      return std::make_unique<EwmaPredictor>(ewma_alpha);
+    case PredictorKind::kPeak:
+      return std::make_unique<PeakPredictor>(peak_window);
+  }
+  SOR_CHECK_MSG(false, "unknown predictor kind");
+  return nullptr;
+}
+
+}  // namespace sor::engine

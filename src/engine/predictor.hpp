@@ -1,0 +1,95 @@
+#pragma once
+
+// Demand prediction for the epoch controller.
+//
+// A real control plane re-solves for the matrix it *expects*, not the one
+// it will observe; the gap between the two is what the warm-started LP
+// must absorb. Two standard TE predictors (Kulfi/SMORE practice):
+//
+//  * EWMA           — exponentially weighted moving average per pair;
+//                     tracks slow drift, smooths jitter.
+//  * peak-of-last-w — per-pair max over a sliding window; conservative
+//                     (over-provisions), robust to bursts.
+//
+// Both score every prediction against the realized matrix (relative L1)
+// and expose the error history as a StatsSummary for the epoch reports.
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "demand/demand.hpp"
+#include "util/stats.hpp"
+
+namespace sor::engine {
+
+/// |predicted − realized|_1 / |realized|_1 over the union support
+/// (0 if the realized matrix is empty).
+double relative_l1_error(const Demand& predicted, const Demand& realized);
+
+class DemandPredictor {
+ public:
+  virtual ~DemandPredictor() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Scores the pending prediction against `realized` (from the second
+  /// observation on), then folds the matrix into the predictor state.
+  void observe(const Demand& realized);
+
+  /// Prediction for the next epoch; empty before any observation (the
+  /// controller bootstraps by routing the first realized matrix).
+  Demand predict() const;
+
+  std::size_t observations() const { return observations_; }
+
+  /// Summary of the per-epoch relative L1 prediction errors so far.
+  StatsSummary error_summary() const { return summarize(errors_); }
+
+ protected:
+  virtual void update(const Demand& realized) = 0;
+  virtual Demand predict_impl() const = 0;
+
+ private:
+  std::size_t observations_ = 0;
+  std::vector<double> errors_;
+};
+
+/// state ← (1−α)·state + α·realized, per pair over the union support.
+class EwmaPredictor : public DemandPredictor {
+ public:
+  explicit EwmaPredictor(double alpha = 0.5);
+  std::string name() const override;
+
+ protected:
+  void update(const Demand& realized) override;
+  Demand predict_impl() const override;
+
+ private:
+  double alpha_;
+  Demand state_;
+};
+
+/// Per-pair max over the last `window` observed matrices.
+class PeakPredictor : public DemandPredictor {
+ public:
+  explicit PeakPredictor(std::size_t window = 4);
+  std::string name() const override;
+
+ protected:
+  void update(const Demand& realized) override;
+  Demand predict_impl() const override;
+
+ private:
+  std::size_t window_;
+  std::deque<Demand> history_;
+};
+
+enum class PredictorKind { kEwma, kPeak };
+
+std::unique_ptr<DemandPredictor> make_predictor(PredictorKind kind,
+                                                double ewma_alpha = 0.5,
+                                                std::size_t peak_window = 4);
+
+}  // namespace sor::engine

@@ -1,0 +1,76 @@
+#pragma once
+
+// Record / replay for the TE control loop.
+//
+// `engine run` records everything a re-run needs — the full config plus
+// the realized event trace — into a versioned text file. `engine replay`
+// reconstructs the topology, re-samples the same path system (every
+// random component is seeded), and re-runs the controller; because the
+// whole loop is deterministic, the replay's per-epoch reports match the
+// original byte for byte. The digest is the comparable artifact: every
+// deterministic field of every epoch, and none of the wall-clock ones.
+
+#include <iosfwd>
+#include <string>
+
+#include "core/path_system.hpp"
+#include "engine/controller.hpp"
+#include "engine/event_trace.hpp"
+#include "graph/graph.hpp"
+#include "telemetry/json.hpp"
+
+namespace sor::engine {
+
+struct EngineRunConfig {
+  /// "wan:abilene" | "wan:b4" | "wan:geant" | "hypercube:<d>" |
+  /// "file:<path>" — must reconstruct to the same graph on replay.
+  std::string topology = "wan:abilene";
+  /// Path-system source: racke | ksp | sp.
+  std::string source = "racke";
+  /// Sampled paths per pair.
+  std::size_t k = 4;
+  /// Master seed; every RNG in the run derives from it.
+  std::uint64_t seed = 1;
+  TraceOptions trace;
+  DemandStreamOptions stream;
+  EngineOptions engine;
+};
+
+struct EngineRunRecord {
+  EngineRunConfig config;
+  /// The trace actually used (saved so replay does not regenerate it —
+  /// though regeneration from config.seed would produce the same one).
+  EventTrace trace;
+};
+
+/// Builds the graph named by `topology`. Throws CheckError on an unknown
+/// or unloadable spec.
+Graph build_topology(const std::string& topology);
+
+/// Samples the path system exactly as `engine run` does (deterministic in
+/// the config).
+PathSystem build_path_system(const Graph& g, const EngineRunConfig& config);
+
+struct EngineRunOutput {
+  EngineRunRecord record;
+  ControlLoopResult result;
+};
+
+/// Full run from scratch: topology, path system, generated trace, loop.
+EngineRunOutput run_from_config(const EngineRunConfig& config);
+
+/// Re-runs a recorded trace; per-epoch results are byte-identical to the
+/// original run (modulo solve_ms).
+ControlLoopResult replay_record(const EngineRunRecord& record);
+
+/// Record serialization (versioned text; exact double round-trip).
+void save_record(const EngineRunRecord& record, std::ostream& os);
+EngineRunRecord load_record(std::istream& is);
+
+/// Deterministic digest of a run for replay diffs: config echo plus every
+/// per-epoch field except wall clock. Two digests of the same record are
+/// byte-identical.
+telemetry::JsonValue digest_json(const EngineRunRecord& record,
+                                 const ControlLoopResult& result);
+
+}  // namespace sor::engine

@@ -42,7 +42,79 @@ EdgeLoad load_from_weights(const Graph& g, const RestrictedProblem& problem,
   return load;
 }
 
+// The dual bound is scale-invariant in the lengths, so exported state can
+// be normalized to max = 1. Without this the control loop would compound
+// the MWU's multiplicative growth epoch over epoch (each solve feeds its
+// final lengths into the next) until they overflow to inf.
+void normalize_lengths(std::vector<double>& lengths) {
+  double max_len = 0;
+  for (double l : lengths) max_len = std::max(max_len, l);
+  if (max_len > 0 && std::isfinite(max_len)) {
+    for (double& l : lengths) l /= max_len;
+  }
+}
+
+bool all_finite(std::span<const double> values) {
+  for (double v : values) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
 }  // namespace
+
+double restricted_dual_bound(const RestrictedProblem& problem,
+                             std::span<const double> lengths) {
+  SOR_CHECK(problem.graph != nullptr);
+  const Graph& g = *problem.graph;
+  SOR_CHECK(lengths.size() == g.num_edges());
+  double numerator = 0;
+  for (const RestrictedCommodity& c : problem.commodities) {
+    double min_len = std::numeric_limits<double>::infinity();
+    for (const Path& p : c.candidates) {
+      double len = 0;
+      for (EdgeId e : p.edges) len += lengths[e];
+      min_len = std::min(min_len, len);
+    }
+    numerator += c.demand * min_len;
+  }
+  double denominator = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    denominator += g.edge(e).capacity * std::max(lengths[e], 0.0);
+  }
+  if (denominator <= 0) return 0;
+  return numerator / denominator;
+}
+
+RestrictedSolution route_restricted_fractions(
+    const RestrictedProblem& problem,
+    const std::vector<std::vector<double>>& fractions) {
+  validate_restricted_problem(problem);
+  SOR_CHECK(fractions.size() == problem.commodities.size());
+  RestrictedSolution solution;
+  solution.weights.resize(problem.commodities.size());
+  for (std::size_t j = 0; j < problem.commodities.size(); ++j) {
+    const RestrictedCommodity& c = problem.commodities[j];
+    SOR_CHECK_MSG(fractions[j].size() == c.candidates.size(),
+                  "fraction vector size mismatch for commodity " << j);
+    double sum = 0;
+    for (double f : fractions[j]) {
+      SOR_CHECK(f >= 0);
+      sum += f;
+    }
+    solution.weights[j].assign(c.candidates.size(), 0.0);
+    for (std::size_t p = 0; p < c.candidates.size(); ++p) {
+      const double share =
+          sum > 0 ? fractions[j][p] / sum
+                  : 1.0 / static_cast<double>(c.candidates.size());
+      solution.weights[j][p] = share * c.demand;
+    }
+  }
+  solution.load =
+      load_from_weights(*problem.graph, problem, solution.weights);
+  solution.congestion = max_congestion(*problem.graph, solution.load);
+  return solution;
+}
 
 RestrictedSolution solve_restricted_exact(const RestrictedProblem& problem) {
   SOR_SPAN("lp/exact");
@@ -148,8 +220,64 @@ RestrictedSolution solve_restricted_mwu(const RestrictedProblem& problem,
   const auto m = static_cast<double>(g.num_edges());
   const double delta = std::pow(m / (1.0 - eps), -1.0 / eps);
   std::vector<double> lengths(g.num_edges());
-  for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    lengths[e] = delta / g.edge(e).capacity;
+  const bool warm_lengths = options.warm != nullptr &&
+                            !options.warm->lengths.empty() &&
+                            all_finite(options.warm->lengths);
+  std::vector<double> raw_warm;
+  if (warm_lengths) {
+    SOR_CHECK(options.warm->lengths.size() == g.num_edges());
+    raw_warm.resize(g.num_edges());
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      raw_warm[e] = std::max(options.warm->lengths[e], 1e-300);
+    }
+  }
+
+  // Primal warm accept: if the previous split fractions, applied to the
+  // new demands, are already within (1+ε) of the dual bound certified by
+  // the warm lengths, skip the solve entirely. The test uses the *raw*
+  // lengths: the bound is scale-invariant and the raw certificate is
+  // strictly stronger than the range-clamped one used to init the solve.
+  if (warm_lengths && !options.warm->fractions.empty()) {
+    RestrictedSolution warm =
+        route_restricted_fractions(problem, options.warm->fractions);
+    const double lb = restricted_dual_bound(problem, raw_warm);
+    if (lb > 0 && warm.congestion <= (1.0 + eps) * lb) {
+      warm.lower_bound = lb;
+      warm.warm_accepted = true;
+      normalize_lengths(raw_warm);
+      warm.dual_lengths = std::move(raw_warm);
+      SOR_COUNTER("lp/warm_accepts").add();
+      return warm;
+    }
+  }
+
+  if (warm_lengths) {
+    // Dual warm start: resume from the previous epoch's final lengths.
+    // The stopping certificate compares primal vs dual explicitly, so any
+    // positive initialization is sound; a good one closes the gap in
+    // fewer phases. Two transforms make it *useful*, not just sound:
+    //  * rescale to the cold init's δ-scale (cold sets l_e·c_e = δ on
+    //    every edge) — starting large means thousands of phases before
+    //    the per-phase updates dominate the initialization;
+    //  * clamp the shape's dynamic range to kWarmRange — a converged
+    //    solve leaves exponentially spread lengths, and when failures
+    //    change which edges matter, an argmin flip across a range-ρ gap
+    //    needs O(log ρ / ε) phases. The clamp bounds the worst case at
+    //    O(log kWarmRange / ε) while keeping the learned ordering.
+    constexpr double kWarmRange = 64.0;
+    double max_lc = 0;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      max_lc = std::max(max_lc, raw_warm[e] * g.edge(e).capacity);
+    }
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const double shape =
+          std::max(raw_warm[e] * g.edge(e).capacity, max_lc / kWarmRange);
+      lengths[e] = delta * (shape / max_lc) / g.edge(e).capacity;
+    }
+  } else {
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      lengths[e] = delta / g.edge(e).capacity;
+    }
   }
 
   auto path_length = [&](const Path& p) {
@@ -203,10 +331,19 @@ RestrictedSolution solve_restricted_mwu(const RestrictedProblem& problem,
       numerator += c.demand * min_len;
     }
     double denominator = 0;
+    double max_len = 0;
     for (EdgeId e = 0; e < g.num_edges(); ++e) {
       denominator += g.edge(e).capacity * lengths[e];
+      max_len = std::max(max_len, lengths[e]);
     }
     best_lower = std::max(best_lower, numerator / denominator);
+    // Long solves (thousands of phases) grow the lengths past the double
+    // range. Every lengths-dependent quantity here is scale-invariant
+    // (argmin path, the bound above), so renormalize before they
+    // overflow; the guard keeps short solves bit-identical.
+    if (max_len > 1e100) {
+      for (double& l : lengths) l /= max_len;
+    }
 
     const double upper =
         max_congestion(g, solution.load) / static_cast<double>(phase + 1);
@@ -228,6 +365,9 @@ RestrictedSolution solve_restricted_mwu(const RestrictedProblem& problem,
   for (double& load : solution.load) load *= scale;
   solution.congestion = max_congestion(g, solution.load);
   solution.lower_bound = best_lower;
+  solution.phases = phase;
+  normalize_lengths(lengths);
+  solution.dual_lengths = std::move(lengths);
   SOR_COUNTER("mwu/phases").add(phase);
   if (best_lower > 0) {
     SOR_GAUGE("mwu/duality_gap").set(solution.congestion / best_lower);

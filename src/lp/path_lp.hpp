@@ -49,20 +49,72 @@ struct RestrictedSolution {
   std::vector<std::vector<double>> weights;
   /// Per-edge load of the returned routing.
   EdgeLoad load;
+  /// MWU phases executed (0 for the exact backend or a warm accept).
+  std::size_t phases = 0;
+  /// True iff a warm start was accepted without re-solving.
+  bool warm_accepted = false;
+  /// Final MWU dual edge lengths (empty for the exact backend) — feed
+  /// them back through RestrictedWarmStart to warm-start the next epoch.
+  /// Normalized to max = 1 (the dual bound is scale-invariant) so
+  /// feeding them back epoch after epoch cannot overflow.
+  std::vector<double> dual_lengths;
+};
+
+/// Warm-start state carried between epochs of the TE control loop: the
+/// previous solution re-expressed as per-commodity split fractions plus
+/// the MWU's final dual edge lengths. Both are optional (empty = absent).
+///
+/// Soundness does not depend on where the state comes from: any positive
+/// length vector yields a valid duality lower bound (see
+/// restricted_dual_bound), and any fraction vector yields a feasible
+/// routing, so a stale warm start can cost phases but never correctness.
+struct RestrictedWarmStart {
+  /// fractions[j][p] ≥ 0; renormalized per commodity internally. Sizes
+  /// must match the problem's candidate lists when non-empty.
+  std::vector<std::vector<double>> fractions;
+  /// Per-edge dual lengths (size num_edges()); non-positive entries are
+  /// clamped to a tiny positive value.
+  std::vector<double> lengths;
+
+  bool empty() const { return fractions.empty() && lengths.empty(); }
 };
 
 struct RestrictedMwuOptions {
   double epsilon = 0.05;
   std::size_t max_phases = 10000;
+  /// Optional warm start (not owned). When fractions and lengths are both
+  /// present and the warm routing is already within (1+ε) of the dual
+  /// bound certified by the warm lengths, the solve is skipped entirely
+  /// (warm_accepted). Otherwise the MWU starts from the warm lengths
+  /// instead of the uniform δ/c_e initialization.
+  const RestrictedWarmStart* warm = nullptr;
 };
 
 /// Exact optimum via simplex. Throws CheckError if the solver fails
 /// numerically (does not happen on the instance sizes it is used for).
 RestrictedSolution solve_restricted_exact(const RestrictedProblem& problem);
 
-/// (1+ε)-approximate optimum via multiplicative weights.
+/// (1+ε)-approximate optimum via multiplicative weights (optionally
+/// warm-started through `options.warm`).
 RestrictedSolution solve_restricted_mwu(
     const RestrictedProblem& problem, const RestrictedMwuOptions& options = {});
+
+/// Duality lower bound on the restricted optimum certified by an
+/// arbitrary positive length vector:
+///   OPT ≥ Σ_j d_j·minlen_j / Σ_e c_e·l_e.
+/// The bound is scale-invariant in `lengths`, which is what makes reusing
+/// a previous epoch's final MWU lengths sound.
+double restricted_dual_bound(const RestrictedProblem& problem,
+                             std::span<const double> lengths);
+
+/// Routes the problem's demands along fixed per-commodity split fractions
+/// (renormalized; a commodity whose fractions sum to 0 splits uniformly).
+/// Returns the resulting feasible solution with lower_bound = 0 — the
+/// primal half of a warm-start accept test, also used by the control loop
+/// to apply the last installed split to a newly realized demand.
+RestrictedSolution route_restricted_fractions(
+    const RestrictedProblem& problem,
+    const std::vector<std::vector<double>>& fractions);
 
 /// Validates a RestrictedProblem (endpoints match, demands positive,
 /// every commodity has at least one candidate). Throws CheckError.

@@ -181,6 +181,77 @@ TEST(Router, ThrowsWithoutCandidatesUnlessFallback) {
   }
 }
 
+TEST(Router, FailureMaskedPairFollowsFallbackContract) {
+  // A pair whose candidates are all masked out by failures (activation
+  // flags, not an empty system) must behave exactly like a pair with no
+  // candidates: CheckError without add_shortest_fallback, BFS fallback
+  // with it.
+  Graph g(4);
+  const EdgeId e01 = g.add_edge(0, 1);
+  const EdgeId e02 = g.add_edge(0, 2);
+  const EdgeId e13 = g.add_edge(1, 3);
+  const EdgeId e23 = g.add_edge(2, 3);
+  g.add_edge(0, 3);
+  PathSystem ps;
+  ps.add(Path{0, 3, {e01, e13}});
+  ps.add(Path{0, 3, {e02, e23}});
+  Demand d;
+  d.add(0, 3, 1.0);
+
+  PathActivation activation(ps);
+  activation.set_active(0, 3, 0, false);
+  activation.set_active(0, 3, 1, false);
+  {
+    SemiObliviousRouter router(g, ps);
+    router.set_activation(&activation);
+    EXPECT_THROW(router.route_fractional(d), CheckError);
+  }
+  {
+    RouterOptions options;
+    options.add_shortest_fallback = true;
+    SemiObliviousRouter router(g, ps, options);
+    router.set_activation(&activation);
+    const FractionalRoute route = router.route_fractional(d);
+    EXPECT_NEAR(route.congestion, 1.0, 1e-9);
+    EXPECT_EQ(route.dilation, 1u);  // BFS finds the direct 0–3 edge
+  }
+  // Partially masked pair: the LP sees only the surviving candidate.
+  activation.set_active(0, 3, 1, true);
+  {
+    SemiObliviousRouter router(g, ps);
+    router.set_activation(&activation);
+    const FractionalRoute route = router.route_fractional(d);
+    EXPECT_NEAR(route.congestion, 1.0, 1e-9);
+    ASSERT_EQ(route.problem.commodities.size(), 1u);
+    EXPECT_EQ(route.problem.commodities[0].candidates.size(), 1u);
+  }
+}
+
+TEST(PathActivation, ExtrasJoinTheCandidateList) {
+  Graph g(3);
+  const EdgeId e01 = g.add_edge(0, 1);
+  const EdgeId e12 = g.add_edge(1, 2);
+  const EdgeId e02 = g.add_edge(0, 2);
+  PathSystem ps;
+  ps.add(Path{0, 2, {e01, e12}});
+  PathActivation activation(ps);
+  EXPECT_EQ(activation.num_active(0, 2), 1u);
+
+  const std::size_t extra = activation.add_extra(Path{2, 0, {e02}});
+  EXPECT_EQ(activation.num_extras(0, 2), 1u);
+  EXPECT_EQ(activation.num_active(0, 2), 2u);
+  const std::vector<Path> oriented = activation.active_oriented(0, 2);
+  ASSERT_EQ(oriented.size(), 2u);
+  EXPECT_EQ(oriented[1].src, 0u);  // extra re-oriented s→t
+  EXPECT_EQ(oriented[1].edges, (std::vector<EdgeId>{e02}));
+
+  activation.set_extra_active(0, 2, extra, false);
+  EXPECT_EQ(activation.num_active(0, 2), 1u);
+  activation.set_active(0, 2, 0, false);
+  EXPECT_EQ(activation.num_active(0, 2), 0u);
+  EXPECT_TRUE(activation.active_oriented(0, 2).empty());
+}
+
 TEST(Router, EmptyDemandIsZero) {
   const Graph g = make_grid(2, 2);
   PathSystem ps;

@@ -1,0 +1,341 @@
+// Unit tests for src/engine: trace generation/serialization, the demand
+// stream, predictors, failure repair over activation masks, the epoch
+// controller, and record/replay byte-identity.
+
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <sstream>
+
+#include "engine/controller.hpp"
+#include "engine/event_trace.hpp"
+#include "engine/predictor.hpp"
+#include "engine/repair.hpp"
+#include "engine/replay.hpp"
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+
+namespace sor::engine {
+namespace {
+
+// Exact equality of two sparse demand matrices (Demand has no
+// operator==; commodities() is sorted, so elementwise compare works).
+bool demand_equal(const Demand& a, const Demand& b) {
+  const std::vector<Commodity> ca = a.commodities();
+  const std::vector<Commodity> cb = b.commodities();
+  if (ca.size() != cb.size()) return false;
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    if (ca[i].src != cb[i].src || ca[i].dst != cb[i].dst ||
+        ca[i].amount != cb[i].amount) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Connectivity of the subgraph induced by `alive` edges.
+bool alive_connected(const Graph& g, const std::vector<char>& alive) {
+  if (g.num_vertices() == 0) return true;
+  std::vector<char> seen(g.num_vertices(), 0);
+  std::queue<Vertex> queue;
+  queue.push(0);
+  seen[0] = 1;
+  std::size_t reached = 1;
+  while (!queue.empty()) {
+    const Vertex v = queue.front();
+    queue.pop();
+    for (const HalfEdge& half : g.neighbors(v)) {
+      if (!alive[half.id] || seen[half.to]) continue;
+      seen[half.to] = 1;
+      ++reached;
+      queue.push(half.to);
+    }
+  }
+  return reached == g.num_vertices();
+}
+
+TEST(EventTrace, GenerationIsDeterministic) {
+  const Graph g = make_abilene().graph;
+  TraceOptions options;
+  options.num_epochs = 24;
+  const EventTrace a = generate_trace(g, options, 7);
+  const EventTrace b = generate_trace(g, options, 7);
+  EXPECT_EQ(a, b);
+  const EventTrace c = generate_trace(g, options, 8);
+  EXPECT_NE(a, c);
+  EXPECT_GT(a.events.size(), 0u);
+}
+
+TEST(EventTrace, FailuresNeverDisconnect) {
+  const Graph g = make_abilene().graph;
+  TraceOptions options;
+  options.num_epochs = 40;
+  options.p_failure = 0.9;  // stress the connectivity guard
+  options.max_concurrent_failures = 4;
+  const EventTrace trace = generate_trace(g, options, 3);
+  std::vector<char> alive(g.num_edges(), 1);
+  for (std::size_t t = 0; t < trace.num_epochs; ++t) {
+    for (const Event& e : trace.events_at(t)) {
+      if (e.kind == EventKind::kLinkFailure) alive[e.edge] = 0;
+      if (e.kind == EventKind::kLinkRecovery) alive[e.edge] = 1;
+    }
+    EXPECT_TRUE(alive_connected(g, alive)) << "epoch " << t;
+  }
+}
+
+TEST(EventTrace, EventsAtReturnsContiguousRun) {
+  EventTrace trace;
+  trace.num_epochs = 4;
+  trace.events = {{0, EventKind::kLinkFailure, 1, 0, 0},
+                  {2, EventKind::kLinkRecovery, 1, 0, 0},
+                  {2, EventKind::kDemandDrift, kInvalidEdge, 0.4, 9}};
+  EXPECT_EQ(trace.events_at(0).size(), 1u);
+  EXPECT_EQ(trace.events_at(1).size(), 0u);
+  EXPECT_EQ(trace.events_at(2).size(), 2u);
+  EXPECT_EQ(trace.events_at(3).size(), 0u);
+}
+
+TEST(EventTrace, SaveLoadRoundTrip) {
+  const Graph g = make_b4().graph;
+  TraceOptions options;
+  options.num_epochs = 16;
+  const EventTrace trace = generate_trace(g, options, 11);
+  std::stringstream buffer;
+  save_trace(trace, buffer);
+  const EventTrace loaded = load_trace(buffer);
+  EXPECT_EQ(trace, loaded);
+}
+
+TEST(EventTrace, LoadRejectsGarbage) {
+  std::stringstream buffer("not a trace\n");
+  EXPECT_THROW(load_trace(buffer), CheckError);
+}
+
+TEST(DemandStream, DeterministicPerEpoch) {
+  const Graph g = make_abilene().graph;
+  DemandStreamOptions options;
+  DemandStream a(g, options, 5);
+  DemandStream b(g, options, 5);
+  EXPECT_TRUE(demand_equal(a.at_epoch(3), b.at_epoch(3)));
+  // at_epoch is a pure function: asking twice gives the same matrix, and
+  // jitter differs across epochs.
+  EXPECT_TRUE(demand_equal(a.at_epoch(3), a.at_epoch(3)));
+  EXPECT_FALSE(demand_equal(a.at_epoch(3), a.at_epoch(4)));
+}
+
+TEST(DemandStream, DriftIsDeterministicAndChangesTheMatrix) {
+  const Graph g = make_abilene().graph;
+  DemandStreamOptions options;
+  DemandStream a(g, options, 5);
+  DemandStream b(g, options, 5);
+  const Demand before = a.at_epoch(2);
+  a.apply_drift(0.5, 42);
+  b.apply_drift(0.5, 42);
+  EXPECT_TRUE(demand_equal(a.at_epoch(2), b.at_epoch(2)));
+  EXPECT_FALSE(demand_equal(a.at_epoch(2), before));
+}
+
+TEST(Predictor, EwmaConvergesToConstantDemand) {
+  EwmaPredictor predictor(0.5);
+  Demand constant;
+  constant.add(0, 1, 4.0);
+  constant.add(2, 3, 1.0);
+  EXPECT_TRUE(predictor.predict().empty());
+  for (int i = 0; i < 12; ++i) predictor.observe(constant);
+  const Demand predicted = predictor.predict();
+  EXPECT_NEAR(predicted.at(0, 1), 4.0, 1e-3);
+  EXPECT_NEAR(predicted.at(2, 3), 1.0, 1e-3);
+  // Constant demand is perfectly predictable after the first observation.
+  EXPECT_NEAR(predictor.error_summary().max, 0.0, 1e-9);
+}
+
+TEST(Predictor, PeakTracksWindowMaximum) {
+  PeakPredictor predictor(2);
+  Demand low;
+  low.add(0, 1, 1.0);
+  Demand high;
+  high.add(0, 1, 5.0);
+  predictor.observe(high);
+  predictor.observe(low);
+  EXPECT_NEAR(predictor.predict().at(0, 1), 5.0, 1e-12);
+  predictor.observe(low);  // the 5.0 slides out of the window
+  EXPECT_NEAR(predictor.predict().at(0, 1), 1.0, 1e-12);
+}
+
+TEST(Predictor, ErrorHistoryScoresPendingPrediction) {
+  EwmaPredictor predictor(1.0);  // predicts exactly the last observation
+  Demand first;
+  first.add(0, 1, 2.0);
+  Demand second;
+  second.add(0, 1, 3.0);
+  predictor.observe(first);
+  EXPECT_EQ(predictor.error_summary().count, 0u);
+  predictor.observe(second);
+  ASSERT_EQ(predictor.error_summary().count, 1u);
+  // |2 − 3| / |3|
+  EXPECT_NEAR(predictor.error_summary().mean, 1.0 / 3.0, 1e-12);
+}
+
+// Diamond 0–1–3 / 0–2–3 plus a direct 0–3 edge the system does not use.
+struct DiamondFixture {
+  Graph g{4};
+  EdgeId e01, e02, e13, e23, e03;
+  PathSystem ps;
+
+  DiamondFixture() {
+    e01 = g.add_edge(0, 1);
+    e02 = g.add_edge(0, 2);
+    e13 = g.add_edge(1, 3);
+    e23 = g.add_edge(2, 3);
+    e03 = g.add_edge(0, 3);
+    ps.add(Path{0, 3, {e01, e13}});
+    ps.add(Path{0, 3, {e02, e23}});
+  }
+};
+
+TEST(Repair, FailureDeactivatesOnlyAffectedCandidates) {
+  DiamondFixture f;
+  PathRepairer repairer(f.g, f.ps);
+  const std::vector<VertexPair> support = {VertexPair::canonical(0, 3)};
+  const std::vector<Event> events = {{0, EventKind::kLinkFailure, f.e01, 0, 0}};
+  const RepairReport report = repairer.apply_epoch(events, support);
+  EXPECT_EQ(report.deactivated, 1u);
+  EXPECT_EQ(report.fallbacks_installed, 0u);
+  EXPECT_FALSE(repairer.activation().is_active(0, 3, 0));
+  EXPECT_TRUE(repairer.activation().is_active(0, 3, 1));
+  EXPECT_EQ(repairer.activation().num_active(0, 3), 1u);
+}
+
+TEST(Repair, StrandedPairGetsMandatoryFallbackEvenWithZeroBudget) {
+  DiamondFixture f;
+  RepairOptions options;
+  options.churn_budget = 0;
+  PathRepairer repairer(f.g, f.ps, options);
+  const std::vector<VertexPair> support = {VertexPair::canonical(0, 3)};
+  const std::vector<Event> events = {{0, EventKind::kLinkFailure, f.e01, 0, 0},
+                                     {0, EventKind::kLinkFailure, f.e23, 0, 0}};
+  const RepairReport report = repairer.apply_epoch(events, support);
+  EXPECT_EQ(report.deactivated, 2u);
+  EXPECT_EQ(report.fallbacks_installed, 1u);
+  ASSERT_EQ(repairer.activation().num_extras(0, 3), 1u);
+  // BFS on the surviving graph finds the direct edge.
+  EXPECT_EQ(repairer.activation().extra_path(0, 3, 0).edges,
+            (std::vector<EdgeId>{f.e03}));
+  EXPECT_EQ(repairer.activation().num_active(0, 3), 1u);
+}
+
+TEST(Repair, RecoveryReactivatesWithinBudget) {
+  DiamondFixture f;
+  PathRepairer repairer(f.g, f.ps);
+  const std::vector<VertexPair> support = {VertexPair::canonical(0, 3)};
+  const std::vector<Event> fail = {{0, EventKind::kLinkFailure, f.e01, 0, 0}};
+  repairer.apply_epoch(fail, support);
+  const std::vector<Event> recover = {
+      {1, EventKind::kLinkRecovery, f.e01, 0, 0}};
+  const RepairReport report = repairer.apply_epoch(recover, support);
+  EXPECT_EQ(report.reactivated, 1u);
+  EXPECT_EQ(report.deferred, 0u);
+  EXPECT_TRUE(repairer.activation().is_active(0, 3, 0));
+  EXPECT_EQ(repairer.failed_edges(), 0u);
+}
+
+TEST(Repair, ZeroBudgetDefersReactivation) {
+  DiamondFixture f;
+  RepairOptions options;
+  options.churn_budget = 0;
+  PathRepairer repairer(f.g, f.ps, options);
+  const std::vector<VertexPair> support = {VertexPair::canonical(0, 3)};
+  const std::vector<Event> fail = {{0, EventKind::kLinkFailure, f.e01, 0, 0}};
+  repairer.apply_epoch(fail, support);
+  const std::vector<Event> recover = {
+      {1, EventKind::kLinkRecovery, f.e01, 0, 0}};
+  const RepairReport report = repairer.apply_epoch(recover, support);
+  EXPECT_EQ(report.reactivated, 0u);
+  EXPECT_GE(report.deferred, 1u);
+  EXPECT_FALSE(repairer.activation().is_active(0, 3, 0));
+}
+
+EngineRunConfig small_config() {
+  EngineRunConfig config;
+  config.topology = "wan:abilene";
+  config.source = "sp";  // fast, deterministic path source for unit tests
+  config.k = 3;
+  config.seed = 21;
+  config.trace.num_epochs = 8;
+  config.stream.total = 32.0;
+  return config;
+}
+
+TEST(Controller, ControlLoopIsDeterministic) {
+  const EngineRunConfig config = small_config();
+  const EngineRunOutput a = run_from_config(config);
+  const EngineRunOutput b = run_from_config(config);
+  EXPECT_EQ(digest_json(a.record, a.result).dump(2),
+            digest_json(b.record, b.result).dump(2));
+  EXPECT_EQ(a.result.epochs.size(), config.trace.num_epochs);
+}
+
+TEST(Controller, EveryEpochProducesFiniteCertifiedCongestion) {
+  const EngineRunOutput out = run_from_config(small_config());
+  for (const EpochReport& r : out.result.epochs) {
+    EXPECT_GT(r.congestion, 0.0) << "epoch " << r.epoch;
+    EXPECT_GE(r.solver_congestion, r.lower_bound * (1.0 - 1e-9))
+        << "epoch " << r.epoch;
+    EXPECT_GT(r.realized_total, 0.0);
+  }
+}
+
+TEST(Controller, QuietTraceWarmAcceptsAndMatchesColdQuality) {
+  // No failures, no drift, tiny jitter: after the bootstrap epoch the
+  // installed split stays near-optimal, so warm starts should accept
+  // without re-solving — and quality must match the cold loop.
+  EngineRunConfig config = small_config();
+  config.trace.p_failure = 0;
+  config.trace.p_drift = 0;
+  config.stream.jitter_sigma = 0.01;
+  const EngineRunOutput warm = run_from_config(config);
+  EXPECT_GE(warm.result.warm_accepts, 1u);
+
+  EngineRunRecord cold_record = warm.record;
+  cold_record.config.engine.warm_start = false;
+  const ControlLoopResult cold = replay_record(cold_record);
+  EXPECT_EQ(cold.warm_accepts, 0u);
+  ASSERT_EQ(cold.epochs.size(), warm.result.epochs.size());
+  for (std::size_t t = 0; t < cold.epochs.size(); ++t) {
+    // Both are (1+ε) solutions of the same LP; allow both slacks.
+    EXPECT_NEAR(warm.result.epochs[t].congestion, cold.epochs[t].congestion,
+                0.15 * cold.epochs[t].congestion + 1e-9)
+        << "epoch " << t;
+  }
+}
+
+TEST(Controller, ExactBackendRunsTheLoop) {
+  EngineRunConfig config = small_config();
+  config.trace.num_epochs = 4;
+  config.engine.backend = EngineBackend::kExact;
+  const EngineRunOutput out = run_from_config(config);
+  ASSERT_EQ(out.result.epochs.size(), 4u);
+  for (const EpochReport& r : out.result.epochs) {
+    EXPECT_GT(r.congestion, 0.0);
+  }
+}
+
+TEST(Replay, RecordRoundTripsAndReplaysByteIdentically) {
+  const EngineRunOutput out = run_from_config(small_config());
+  std::stringstream buffer;
+  save_record(out.record, buffer);
+  const EngineRunRecord loaded = load_record(buffer);
+  EXPECT_EQ(loaded.trace, out.record.trace);
+  const ControlLoopResult replayed = replay_record(loaded);
+  EXPECT_EQ(digest_json(loaded, replayed).dump(2),
+            digest_json(out.record, out.result).dump(2));
+}
+
+TEST(Replay, BuildTopologyRejectsUnknownSpecs) {
+  EXPECT_THROW(build_topology("abilene"), CheckError);
+  EXPECT_THROW(build_topology("wan:nowhere"), CheckError);
+  EXPECT_EQ(build_topology("hypercube:3").num_vertices(), 8u);
+}
+
+}  // namespace
+}  // namespace sor::engine

@@ -227,6 +227,86 @@ TEST(RestrictedMwu, CrossValidatesWithExactOnSampledSystems) {
   EXPECT_LE(mwu.lower_bound, exact.congestion + 1e-6);
 }
 
+TEST(RestrictedWarm, RepeatSolveIsAcceptedWithoutPhases) {
+  // Warm-starting from a solution of the *same* problem must short-circuit:
+  // the accept test re-checks exactly the MWU stopping condition.
+  const Graph g = diamond();
+  const RestrictedProblem problem = diamond_problem(g, 1.0);
+  RestrictedMwuOptions options;
+  options.epsilon = 0.05;
+  const RestrictedSolution cold = solve_restricted_mwu(problem, options);
+  ASSERT_FALSE(cold.dual_lengths.empty());
+  EXPECT_FALSE(cold.warm_accepted);
+  EXPECT_GE(cold.phases, 1u);
+
+  RestrictedWarmStart warm;
+  warm.fractions = cold.weights;  // renormalized internally
+  warm.lengths = cold.dual_lengths;
+  options.warm = &warm;
+  const RestrictedSolution rerun = solve_restricted_mwu(problem, options);
+  EXPECT_TRUE(rerun.warm_accepted);
+  EXPECT_EQ(rerun.phases, 0u);
+  EXPECT_NEAR(rerun.congestion, cold.congestion, 1e-9);
+  EXPECT_LE(rerun.congestion,
+            (1 + options.epsilon) * rerun.lower_bound + 1e-9);
+}
+
+TEST(RestrictedWarm, DualBoundIsSoundAndScaleInvariant) {
+  const Graph g = diamond();
+  const RestrictedProblem problem = diamond_problem(g, 1.0);
+  // Optimum is 0.5; ANY positive length vector must lower-bound it.
+  Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> lengths(g.num_edges());
+    for (double& l : lengths) l = 0.01 + rng.next_double();
+    const double bound = restricted_dual_bound(problem, lengths);
+    EXPECT_LE(bound, 0.5 + 1e-9);
+    std::vector<double> scaled = lengths;
+    for (double& l : scaled) l *= 1000.0;
+    EXPECT_NEAR(restricted_dual_bound(problem, scaled), bound, 1e-9);
+  }
+  // The uniform vector is exactly tight on the symmetric diamond.
+  const std::vector<double> uniform(g.num_edges(), 1.0);
+  EXPECT_NEAR(restricted_dual_bound(problem, uniform), 0.5, 1e-12);
+}
+
+TEST(RestrictedWarm, RouteFractionsAppliesTheSplit) {
+  const Graph g = diamond();
+  const RestrictedProblem problem = diamond_problem(g, 1.0);
+  const RestrictedSolution one_path =
+      route_restricted_fractions(problem, {{1.0, 0.0}});
+  EXPECT_NEAR(one_path.congestion, 1.0, 1e-12);
+  const RestrictedSolution even =
+      route_restricted_fractions(problem, {{0.5, 0.5}});
+  EXPECT_NEAR(even.congestion, 0.5, 1e-12);
+  // All-zero fractions fall back to a uniform split.
+  const RestrictedSolution uniform =
+      route_restricted_fractions(problem, {{0.0, 0.0}});
+  EXPECT_NEAR(uniform.congestion, 0.5, 1e-12);
+  // Unnormalized fractions are renormalized per commodity.
+  const RestrictedSolution scaled =
+      route_restricted_fractions(problem, {{2.0, 2.0}});
+  EXPECT_NEAR(scaled.congestion, 0.5, 1e-12);
+}
+
+TEST(RestrictedWarm, StaleWarmStartCostsPhasesNotCorrectness) {
+  // A lopsided warm split (congestion 1.0 vs optimum 0.5) fails the
+  // accept test and the MWU re-solves from the warm lengths — landing on
+  // the same (1+ε) guarantee as a cold solve.
+  const Graph g = diamond();
+  const RestrictedProblem problem = diamond_problem(g, 1.0);
+  RestrictedWarmStart warm;
+  warm.fractions = {{1.0, 0.0}};
+  warm.lengths.assign(g.num_edges(), 1.0);
+  RestrictedMwuOptions options;
+  options.epsilon = 0.05;
+  options.warm = &warm;
+  const RestrictedSolution s = solve_restricted_mwu(problem, options);
+  EXPECT_FALSE(s.warm_accepted);
+  EXPECT_GE(s.phases, 1u);
+  EXPECT_NEAR(s.congestion, 0.5, 0.5 * 0.06);
+}
+
 TEST(RestrictedValidate, RejectsMalformedProblems) {
   const Graph g = diamond();
   {
