@@ -14,10 +14,13 @@
 
 #include <cctype>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/evaluate.hpp"
 #include "core/router.hpp"
@@ -28,9 +31,15 @@
 #include "telemetry/json.hpp"
 #include "telemetry/span.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/log.hpp"
 #include "util/table.hpp"
 
 namespace sor::bench {
+
+/// Bumped whenever the artifact gains or changes blocks; check_bench_json
+/// enforces it. v2: added schema_version, the "events" flight-recorder
+/// block, and the optional "attribution" block.
+inline constexpr int kArtifactSchemaVersion = 2;
 
 namespace detail {
 // Captured at static initialization — close enough to process start for
@@ -106,6 +115,7 @@ inline telemetry::JsonValue artifact_json(const std::string& id,
           .count();
 
   JsonValue doc = JsonValue::object();
+  doc.set("schema_version", kArtifactSchemaVersion);
   doc.set("experiment", short_id(id));
   doc.set("title", id);
   doc.set("claim", claim);
@@ -128,26 +138,67 @@ inline telemetry::JsonValue artifact_json(const std::string& id,
 
   doc.set("telemetry", telemetry::registry_to_json());
   doc.set("spans", telemetry::spans_to_json());
+  doc.set("events", telemetry::recorder_to_json());
   return doc;
 }
 
-/// Prints the table and its CSV twin, then writes BENCH_<id>.json.
-inline void emit(const std::string& id, const std::string& claim,
-                 const Table& table) {
+/// Writes `doc` to `path` atomically (temp file + rename), so a crashed or
+/// concurrent bench never leaves a truncated artifact for the schema
+/// checker to trip over. Returns false (after logging a warning) on any
+/// I/O failure; bench main()s propagate that as a nonzero exit.
+inline bool write_artifact(const std::string& path,
+                           const telemetry::JsonValue& doc) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) {
+      SOR_LOG(kWarn) << "bench artifact: cannot open " << tmp
+                     << " for writing";
+      return false;
+    }
+    out << doc.dump(2) << "\n";
+    out.flush();
+    if (!out) {
+      SOR_LOG(kWarn) << "bench artifact: write to " << tmp << " failed";
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    SOR_LOG(kWarn) << "bench artifact: rename " << tmp << " -> " << path
+                   << " failed";
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Prints the table and its CSV twin, then writes BENCH_<id>.json
+/// atomically. `extra_blocks` lets an experiment append extension blocks
+/// (E16's "e16" series, "attribution") to the standard artifact. Returns
+/// false when the artifact could not be written — bench main()s return
+/// `emit(...) ? 0 : 1` so CI notices.
+inline bool emit(
+    const std::string& id, const std::string& claim, const Table& table,
+    std::vector<std::pair<std::string, telemetry::JsonValue>> extra_blocks =
+        {}) {
   print_banner(std::cout, id, claim);
   table.print(std::cout);
   std::cout << "\ncsv:\n";
   table.print_csv(std::cout);
 
+  telemetry::JsonValue doc = artifact_json(id, claim, table);
+  for (auto& [key, block] : extra_blocks) doc.set(key, std::move(block));
+
   const std::string artifact = "BENCH_" + short_id(id) + ".json";
-  std::ofstream out(artifact);
-  if (out) {
-    out << artifact_json(id, claim, table).dump(2) << "\n";
+  const bool ok = write_artifact(artifact, doc);
+  if (ok) {
     std::cout << "\nartifact: " << artifact << "\n";
   } else {
-    std::cout << "\nartifact: failed to open " << artifact << " for writing\n";
+    std::cout << "\nartifact: FAILED to write " << artifact << "\n";
   }
   std::cout.flush();
+  return ok;
 }
 
 }  // namespace sor::bench

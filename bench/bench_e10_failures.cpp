@@ -108,7 +108,7 @@ int main() {
     }
   }
 
-  bench::emit(
+  return bench::emit(
       "E10: link-failure robustness (SMORE robustness claim)",
       "Candidate diversity makes rate-only re-optimization survive link "
       "failures: stranded pairs collapse to ~0 by k = 8 and congestion "
@@ -116,6 +116,5 @@ int main() {
       "distinct-by-construction paths strand slightly less than sampled "
       "ones at small k; the sampling advantage is congestion quality, "
       "E6/E8.)",
-      table);
-  return 0;
+      table) ? 0 : 1;
 }

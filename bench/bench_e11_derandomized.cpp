@@ -71,12 +71,11 @@ int main() {
     }
   }
 
-  bench::emit(
+  return bench::emit(
       "E11: deterministic few-path selection bypasses the 1-path barrier",
       "A fully deterministic greedy (method of conditional expectations "
       "over the sampling construction) matches the random k-sample's "
       "competitiveness on adversarial permutations, while any single "
       "deterministic path stays polynomially bad.",
-      table);
-  return 0;
+      table) ? 0 : 1;
 }

@@ -57,11 +57,10 @@ int main() {
     }
   }
 
-  bench::emit(
+  return bench::emit(
       "E12: ratio vs network size at fixed sparsity (Thm 2.5 n-dependence)",
       "At k = 1 the ratio grows steadily with n (the polynomial n^Θ(1/k) "
       "term); at k = 2d = Θ(log n) it stays flat — choose k with the "
       "network, not as a constant.",
-      table);
-  return 0;
+      table) ? 0 : 1;
 }

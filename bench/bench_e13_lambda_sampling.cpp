@@ -84,13 +84,12 @@ int main() {
     }
   }
 
-  bench::emit(
+  return bench::emit(
       "E13: λ·k-sampling is necessary for arbitrary demands (§2.1, Lem 2.7)",
       "A heavy portal-to-portal demand across B parallel bridges has "
       "OPT = 1, but any k-sparse system covers <= k bridges → congestion "
       ">= B/k; scaling the sample size by the min cut λ(s,t) (Definition "
       "5.2's second form, λ read off a Gomory–Hu tree) restores "
       "near-optimality.",
-      table);
-  return 0;
+      table) ? 0 : 1;
 }

@@ -84,12 +84,11 @@ int main() {
     }
   }
 
-  bench::emit(
+  return bench::emit(
       "E14: the price of oblivious path selection",
       "A demand-aware oracle (top-k MCF decomposition paths) is ~optimal "
       "on the demand it was built for but has no paths for anything else; "
       "the oblivious k-sample pays only a small factor on EVERY demand — "
       "the trade Theorem 5.3 proves is polylog.",
-      table);
-  return 0;
+      table) ? 0 : 1;
 }

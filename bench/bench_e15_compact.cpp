@@ -86,11 +86,10 @@ int main() {
                    Table::fmt(racke_sor / std::max(opt, 1e-12))});
   }
 
-  bench::emit(
+  return bench::emit(
       "E15: compact oblivious routing (related work [31]/[8])",
       "Interval-labelled spanning-tree ensembles route with O(T·degree) "
       "words of state per router; the congestion premium over non-compact "
       "Räcke shrinks once the semi-oblivious rate LP runs on top.",
-      table);
-  return 0;
+      table) ? 0 : 1;
 }

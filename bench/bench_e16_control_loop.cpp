@@ -13,8 +13,11 @@
 
 #include <fstream>
 #include <utility>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "core/attribution.hpp"
+#include "demand/generators.hpp"
 #include "engine/replay.hpp"
 #include "graph/generators.hpp"
 
@@ -73,6 +76,21 @@ sor::telemetry::JsonValue mode_json(const ControlLoopResult& result) {
   return mode;
 }
 
+/// Top-K bottleneck attribution for the recorded topology: rebuild the
+/// graph and path system exactly as the run did, route the stream's
+/// gravity demand, and decompose the resulting load per link.
+sor::telemetry::JsonValue attribution_json(const EngineRunConfig& config) {
+  const sor::Graph g = sor::engine::build_topology(config.topology);
+  const sor::PathSystem system = sor::engine::build_path_system(g, config);
+  sor::RouterOptions options;
+  options.backend = sor::LpBackend::kMwu;
+  options.add_shortest_fallback = true;
+  const sor::SemiObliviousRouter router(g, system, options);
+  const sor::Demand demand = sor::gravity_demand(g, config.stream.total);
+  const sor::FractionalRoute route = router.route_fractional(demand);
+  return sor::attribution_to_json(router.attribute(route, 8));
+}
+
 }  // namespace
 
 int main() {
@@ -111,25 +129,20 @@ int main() {
     add_mode_row(table, "b4", "cold", sor::engine::replay_record(b4_cold));
   }
 
-  sor::print_banner(std::cout, kId, kClaim);
-  table.print(std::cout);
-  std::cout << "\ncsv:\n";
-  table.print_csv(std::cout);
-
-  // Standard artifact plus the E16 extension block the schema checker
-  // validates: per-epoch series for both modes of the recorded topology.
-  JsonValue doc = sor::bench::artifact_json(kId, kClaim, table);
+  // Standard artifact plus the extension blocks the schema checker
+  // validates: per-epoch series for both modes of the recorded topology,
+  // and the bottleneck-link attribution of its steady-state demand.
   JsonValue modes = JsonValue::object();
   modes.set("warm", mode_json(warm.result));
   modes.set("cold", mode_json(cold));
   JsonValue e16 = JsonValue::object();
   e16.set("epochs", static_cast<std::uint64_t>(epochs));
   e16.set("modes", std::move(modes));
-  doc.set("e16", std::move(e16));
 
-  std::ofstream out("BENCH_E16.json");
-  out << doc.dump(2) << "\n";
-  std::cout << "\nartifact: BENCH_E16.json (+ E16_record.txt, E16_digest.json)"
-            << "\n";
-  return 0;
+  std::vector<std::pair<std::string, JsonValue>> extra;
+  extra.emplace_back("e16", std::move(e16));
+  extra.emplace_back("attribution", attribution_json(config));
+  const bool ok = sor::bench::emit(kId, kClaim, table, std::move(extra));
+  std::cout << "side artifacts: E16_record.txt, E16_digest.json\n";
+  return ok ? 0 : 1;
 }

@@ -95,10 +95,9 @@ int main() {
     }
   }
 
-  bench::emit("E1: sparsity vs competitiveness (Thm 2.5)",
+  return bench::emit("E1: sparsity vs competitiveness (Thm 2.5)",
               "Each additional sampled path yields a polynomial improvement "
               "in the competitive ratio; the curve flattens at k ≈ log n "
               "(the \"power of a few random choices\").",
-              table);
-  return 0;
+              table) ? 0 : 1;
 }

@@ -72,12 +72,11 @@ int main() {
                    Table::fmt(vcong / std::max(opt, 1e-12))});
   }
 
-  bench::emit(
+  return bench::emit(
       "E2: hypercube deterministic barrier (KKT'91) vs few sampled paths",
       "Deterministic single-path routing blows up on adversarial "
       "permutations (bit-complement/transpose); a deterministic set of "
       "k = O(log n) sampled paths with adaptive rates is near-optimal, "
       "matching randomized Valiant.",
-      table);
-  return 0;
+      table) ? 0 : 1;
 }

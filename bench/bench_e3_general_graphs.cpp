@@ -103,11 +103,10 @@ int main() {
     }
   }
 
-  bench::emit(
+  return bench::emit(
       "E3: O(log n)-sparse samples on general graphs (Thm 2.3/5.3)",
       "A logarithmic number of Räcke-sampled paths per pair is polylog-"
       "competitive across topologies and demand classes; adaptive rates "
       "recover most of the gap between oblivious routing and OPT.",
-      table);
-  return 0;
+      table) ? 0 : 1;
 }

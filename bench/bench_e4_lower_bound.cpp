@@ -85,12 +85,11 @@ int main() {
     }
   }
 
-  bench::emit(
+  return bench::emit(
       "E4: two-star lower bound family (§8, Lemmas 8.1/8.2)",
       "The adversary forces ratio ~m/k out of collapsed k-sparse systems "
       "(growing with gadget size, shrinking polynomially in k); against "
       "the paper's randomized samples the extractable matching collapses — "
       "random spreading is what the upper bound exploits.",
-      table);
-  return 0;
+      table) ? 0 : 1;
 }

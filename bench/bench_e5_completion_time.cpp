@@ -115,11 +115,10 @@ int main() {
          Table::fmt_int(static_cast<long long>(sim.makespan))});
   }
 
-  bench::emit(
+  return bench::emit(
       "E5: completion time needs hop-constrained sampling (Lem 2.8/2.9)",
       "Congestion-optimal routing detours badly on deep graphs; sampling "
       "per geometric hop scale and picking the best scale keeps "
       "congestion + dilation (and simulated makespan) low.",
-      table);
-  return 0;
+      table) ? 0 : 1;
 }

@@ -109,12 +109,11 @@ int main() {
     }
   }
 
-  bench::emit(
+  return bench::emit(
       "E6: SMORE traffic engineering on WANs (k≈4 sweet spot)",
       "Semi-oblivious Räcke samples approach OPT max-utilization by k≈4, "
       "beat KSP-TE at equal sparsity and non-adaptive oblivious routing, "
       "and stay robust when the traffic matrix churns (paths fixed, rates "
       "re-optimized).",
-      table);
-  return 0;
+      table) ? 0 : 1;
 }

@@ -87,7 +87,7 @@ int main() {
          Table::fmt(mean(halving_ratios))});
   }
 
-  bench::emit(
+  return bench::emit(
       "E7: concentration across demands (Lemma 5.6 / Cor 5.7)",
       "One fixed k-sample serves a whole stream of random permutation "
       "demands: the ratio tail (p95/max) collapses as k grows, the "
@@ -95,6 +95,5 @@ int main() {
       "once k reaches the logarithmic regime, and the constructive "
       "Lemma 5.8 halving router (LP-free) routes everything within a "
       "small factor of the LP.",
-      table);
-  return 0;
+      table) ? 0 : 1;
 }

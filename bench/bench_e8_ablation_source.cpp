@@ -82,13 +82,12 @@ int main() {
     }
   }
 
-  bench::emit(
+  return bench::emit(
       "E8: sampling-source ablation at fixed sparsity k=4",
       "The construction inherits the quality β of the oblivious routing "
       "it samples; the `overlap` column (mean pairwise Jaccard of each "
       "pair's candidates) shows WHY: deterministic shortest paths have "
       "overlap 1 (no diversity) and collapse, KSP candidates share "
       "corridors, Räcke/electrical samples are load-diverse.",
-      table);
-  return 0;
+      table) ? 0 : 1;
 }

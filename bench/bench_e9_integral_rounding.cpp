@@ -105,11 +105,10 @@ int main() {
     }
   }
 
-  bench::emit(
+  return bench::emit(
       "E9: integralization cost (Lemma 6.3 / Cor 6.4)",
       "Randomized rounding keeps congestion within 2·frac + O(log m); "
       "local search closes most of the remaining gap, so integral "
       "semi-oblivious routing tracks the fractional optimum.",
-      table);
-  return 0;
+      table) ? 0 : 1;
 }

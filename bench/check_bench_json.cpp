@@ -3,7 +3,14 @@
 // has the right shape; prints the first violation and exits 1 otherwise.
 //
 // Usage: check_bench_json <path/to/BENCH_E1.json>
+//        check_bench_json --chrome-trace <path/to/trace.json>
+//
+// The --chrome-trace mode validates a Chrome trace-event document (as
+// written by `sor_cli --trace-out`): a traceEvents array whose entries
+// carry non-negative, non-decreasing "ts" values and, for "X" events,
+// non-negative durations.
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <set>
@@ -103,16 +110,135 @@ void check_e16(const JsonValue& doc) {
   }
 }
 
+/// The flight-recorder block written by bench_common's artifact_json:
+/// bounded event list with non-decreasing timestamps.
+void check_events(const JsonValue& doc) {
+  check_member(doc, "events", JsonValue::Kind::kObject, "object");
+  const JsonValue& block = doc.at("events");
+  check_member(block, "capacity", JsonValue::Kind::kNumber, "number");
+  check_member(block, "dropped", JsonValue::Kind::kNumber, "number");
+  check_member(block, "total", JsonValue::Kind::kNumber, "number");
+  check_member(block, "events", JsonValue::Kind::kArray, "array");
+  const JsonValue& events = block.at("events");
+  require(events.size() <= block.at("capacity").as_number(),
+          "events/events exceeds events/capacity");
+  double last_t = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const std::string where = "events/events[" + std::to_string(i) + "]";
+    const JsonValue& event = events.at(i);
+    require(event.is_object(), where + " is not an object");
+    check_member(event, "t", JsonValue::Kind::kNumber, "number");
+    check_member(event, "category", JsonValue::Kind::kString, "string");
+    check_member(event, "fields", JsonValue::Kind::kObject, "object");
+    const double t = event.at("t").as_number();
+    require(t >= 0, where + " has negative timestamp");
+    require(t >= last_t, where + " timestamps not non-decreasing");
+    last_t = t;
+  }
+}
+
+/// The congestion-attribution block: per-link contributor shares must sum
+/// to the link's utilization (both sides recomputed from one weight set,
+/// so the tolerance is pure float noise).
+void check_attribution(const JsonValue& doc) {
+  const JsonValue& attribution = doc.at("attribution");
+  require(attribution.is_object(), "attribution is not an object");
+  check_member(attribution, "max_utilization", JsonValue::Kind::kNumber,
+               "number");
+  check_member(attribution, "loaded_links", JsonValue::Kind::kNumber,
+               "number");
+  check_member(attribution, "links", JsonValue::Kind::kArray, "array");
+  const JsonValue& links = attribution.at("links");
+  double prev_util = -1;
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    const std::string where = "attribution/links[" + std::to_string(i) + "]";
+    const JsonValue& link = links.at(i);
+    require(link.is_object(), where + " is not an object");
+    for (const char* key : {"edge", "u", "v", "capacity", "load",
+                            "utilization"}) {
+      check_member(link, key, JsonValue::Kind::kNumber, "number");
+    }
+    check_member(link, "contributors", JsonValue::Kind::kArray, "array");
+    const double utilization = link.at("utilization").as_number();
+    require(utilization >= 0, where + " has negative utilization");
+    if (i == 0) {
+      const double max_util = attribution.at("max_utilization").as_number();
+      require(std::abs(utilization - max_util) <= 1e-9,
+              "attribution/max_utilization does not match the top link");
+    }
+    if (prev_util >= 0) {
+      require(utilization <= prev_util + 1e-12,
+              where + " breaks the utilization sort order");
+    }
+    prev_util = utilization;
+    const JsonValue& contributors = link.at("contributors");
+    double share_sum = 0;
+    for (std::size_t c = 0; c < contributors.size(); ++c) {
+      const std::string cw = where + "/contributors[" + std::to_string(c) + "]";
+      const JsonValue& contributor = contributors.at(c);
+      require(contributor.is_object(), cw + " is not an object");
+      for (const char* key : {"src", "dst", "commodity", "path_index", "hops",
+                              "load", "share"}) {
+        check_member(contributor, key, JsonValue::Kind::kNumber, "number");
+      }
+      require(contributor.at("share").as_number() > 0,
+              cw + " has non-positive share");
+      share_sum += contributor.at("share").as_number();
+    }
+    require(std::abs(share_sum - utilization) <= 1e-6,
+            where + " contributor shares sum to " + std::to_string(share_sum) +
+                ", expected utilization " + std::to_string(utilization));
+  }
+}
+
+/// --chrome-trace: trace-event JSON with sorted non-negative timestamps
+/// and non-negative durations on complete ("X") events.
+int check_chrome_trace(const JsonValue& doc) {
+  require(doc.is_object(), "top level is not an object");
+  check_member(doc, "traceEvents", JsonValue::Kind::kArray, "array");
+  const JsonValue& events = doc.at("traceEvents");
+  double last_ts = 0;
+  std::size_t spans = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const std::string where = "traceEvents[" + std::to_string(i) + "]";
+    const JsonValue& event = events.at(i);
+    require(event.is_object(), where + " is not an object");
+    check_member(event, "name", JsonValue::Kind::kString, "string");
+    check_member(event, "ph", JsonValue::Kind::kString, "string");
+    check_member(event, "ts", JsonValue::Kind::kNumber, "number");
+    check_member(event, "pid", JsonValue::Kind::kNumber, "number");
+    check_member(event, "tid", JsonValue::Kind::kNumber, "number");
+    const double ts = event.at("ts").as_number();
+    require(ts >= 0, where + " has negative ts");
+    require(ts >= last_ts, where + " timestamps not non-decreasing");
+    last_ts = ts;
+    const std::string& ph = event.at("ph").as_string();
+    require(ph == "X" || ph == "i", where + " has unexpected phase " + ph);
+    if (ph == "X") {
+      check_member(event, "dur", JsonValue::Kind::kNumber, "number");
+      require(event.at("dur").as_number() >= 0, where + " has negative dur");
+      ++spans;
+    }
+  }
+  std::printf("ok (%zu events, %zu spans)\n", events.size(), spans);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <BENCH_<id>.json>\n", argv[0]);
+  const bool chrome_trace = argc == 3 && std::string(argv[1]) == "--chrome-trace";
+  if (argc != 2 && !chrome_trace) {
+    std::fprintf(stderr,
+                 "usage: %s <BENCH_<id>.json>\n"
+                 "       %s --chrome-trace <trace.json>\n",
+                 argv[0], argv[0]);
     return 2;
   }
-  std::ifstream in(argv[1]);
+  const char* path = chrome_trace ? argv[2] : argv[1];
+  std::ifstream in(path);
   if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    std::fprintf(stderr, "cannot open %s\n", path);
     return 1;
   }
   std::ostringstream buffer;
@@ -126,7 +252,12 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (chrome_trace) return check_chrome_trace(doc);
+
   require(doc.is_object(), "top level is not an object");
+  check_member(doc, "schema_version", JsonValue::Kind::kNumber, "number");
+  require(doc.at("schema_version").as_number() >= 2,
+          "schema_version < 2 (artifact written by an old bench build)");
   check_member(doc, "experiment", JsonValue::Kind::kString, "string");
   check_member(doc, "title", JsonValue::Kind::kString, "string");
   check_member(doc, "claim", JsonValue::Kind::kString, "string");
@@ -169,9 +300,19 @@ int main(int argc, char** argv) {
                 "\" (mismatched open/close nesting)");
   }
 
-  if (doc.at("experiment").as_string() == "E16") check_e16(doc);
+  check_events(doc);
+  if (doc.has("attribution")) check_attribution(doc);
+  if (doc.at("experiment").as_string() == "E16") {
+    check_e16(doc);
+    require(doc.has("attribution"), "E16 artifact is missing attribution");
+    require(doc.at("events").at("events").size() > 0,
+            "E16 artifact has no recorder events (controller instrumentation "
+            "or SOR_TELEMETRY off)");
+  }
 
-  std::printf("%s: ok (%zu spans, %zu counters)\n", argv[1], spans.size(),
-              doc.at("telemetry").at("counters").size());
+  std::printf("%s: ok (%zu spans, %zu counters, %zu recorder events)\n",
+              argv[1], spans.size(),
+              doc.at("telemetry").at("counters").size(),
+              doc.at("events").at("events").size());
   return 0;
 }

@@ -4,6 +4,8 @@
 //   sor_cli --graph <edge-list file> [--demand <demand file>] [options]
 //   sor_cli engine run    [engine options]
 //   sor_cli engine replay --record FILE [--digest FILE] [--trace]
+//   sor_cli report BENCH_x.json
+//   sor_cli diff OLD.json NEW.json [diff options]
 //
 // Options:
 //   --graph FILE      edge-list graph: first line "<n>", then "u v [cap]"
@@ -16,6 +18,9 @@
 //   --integral        round to one path per demand unit and simulate
 //   --dump-paths FILE write the installed path system as vertex lists
 //   --trace           print the hierarchical span-timing tree at exit
+//   --trace-out FILE  write a Chrome trace-event JSON (chrome://tracing /
+//                     Perfetto) of the run; force-enables telemetry and
+//                     timeline mode (also valid on `engine run|replay`)
 //
 // Engine options (sor_cli engine run):
 //   --wan NAME        abilene | b4 | geant (default abilene), or --graph FILE
@@ -28,16 +33,31 @@
 //   --record FILE     save the run record (trace + config) for replay
 //   --digest FILE     write the deterministic run digest (JSON)
 //
+// Artifact tooling:
+//   sor_cli report BENCH_x.json   human-readable artifact summary (table,
+//                                 top spans, bottleneck links, recorder)
+//   sor_cli diff OLD NEW          regression check between two artifacts
+//                                 of the same experiment; exits 1 when a
+//                                 metric regressed beyond threshold, 2
+//                                 when the artifacts are not comparable
+//     --congestion-threshold X    relative congestion slack  (default 0.02)
+//     --span-threshold X          relative time slack        (default 0.50)
+//     --span-min-seconds X        time-metric noise floor    (default 0.05)
+//
 // Prints the installed system's statistics, the achieved congestion, the
 // offline optimum, and the competitive ratio; `engine run` prints the
 // per-epoch control-loop report instead.
 
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
+#include <sstream>
 #include <string>
 
+#include "core/attribution.hpp"
 #include "core/evaluate.hpp"
 #include "core/router.hpp"
 #include "core/sampler.hpp"
@@ -50,7 +70,10 @@
 #include "oblivious/racke_routing.hpp"
 #include "oblivious/shortest_path.hpp"
 #include "sim/packet_sim.hpp"
+#include "telemetry/artifact.hpp"
+#include "telemetry/export.hpp"
 #include "telemetry/span.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
@@ -60,6 +83,7 @@ struct Args {
   std::string graph_path;
   std::string demand_path;
   std::string dump_paths;
+  std::string trace_out;
   std::string source = "racke";
   std::size_t k = 4;
   std::uint64_t seed = 1;
@@ -67,11 +91,104 @@ struct Args {
   bool trace = false;
 };
 
+/// --trace-out: the flag is an explicit opt-in, so it force-enables the
+/// telemetry kill switch and timeline mode before any span runs.
+void enable_timeline_capture() {
+  sor::telemetry::set_enabled(true);
+  sor::telemetry::set_timeline_enabled(true);
+}
+
+bool write_trace_out(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "error: cannot write trace to " << path << "\n";
+    return false;
+  }
+  os << sor::telemetry::chrome_trace_json().dump(2) << "\n";
+  std::cout << "wrote Chrome trace to " << path
+            << " (open in chrome://tracing or Perfetto)\n";
+  return true;
+}
+
+std::optional<sor::telemetry::JsonValue> load_json(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    std::cerr << "error: cannot read " << path << "\n";
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  try {
+    return sor::telemetry::JsonValue::parse(buf.str());
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << path << " is not valid JSON: " << e.what()
+              << "\n";
+    return std::nullopt;
+  }
+}
+
+int report_main(int argc, char** argv) {
+  if (argc != 3) {
+    std::cerr << "usage: sor_cli report BENCH_x.json\n";
+    return 2;
+  }
+  const auto doc = load_json(argv[2]);
+  if (!doc) return 2;
+  try {
+    sor::telemetry::render_artifact_report(*doc, std::cout);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}
+
+int diff_main(int argc, char** argv) {
+  sor::telemetry::ArtifactDiffOptions options;
+  std::vector<std::string> paths;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "error: missing value for " << flag << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--congestion-threshold") {
+      options.congestion_threshold = std::stod(value());
+    } else if (flag == "--span-threshold") {
+      options.span_threshold = std::stod(value());
+    } else if (flag == "--span-min-seconds") {
+      options.span_min_seconds = std::stod(value());
+    } else {
+      paths.push_back(flag);
+    }
+  }
+  if (paths.size() != 2) {
+    std::cerr << "usage: sor_cli diff OLD.json NEW.json "
+                 "[--congestion-threshold X] [--span-threshold X] "
+                 "[--span-min-seconds X]\n";
+    return 2;
+  }
+  const auto before = load_json(paths[0]);
+  const auto after = load_json(paths[1]);
+  if (!before || !after) return 2;
+  const sor::telemetry::ArtifactDiffResult result =
+      sor::telemetry::diff_artifacts(*before, *after, options);
+  sor::telemetry::render_artifact_diff(result, std::cout);
+  if (!result.comparable()) return 2;
+  return result.regressed() ? 1 : 0;
+}
+
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg != nullptr) std::cerr << "error: " << msg << "\n";
   std::cerr << "usage: sor_cli --graph FILE [--demand FILE] [--k N] "
                "[--source racke|ksp|electrical|sp] [--seed N] [--integral] "
-               "[--dump-paths FILE] [--trace]\n";
+               "[--dump-paths FILE] [--trace] [--trace-out FILE]\n"
+               "       sor_cli engine run|replay [options]\n"
+               "       sor_cli report BENCH_x.json\n"
+               "       sor_cli diff OLD.json NEW.json [options]\n";
   std::exit(2);
 }
 
@@ -97,6 +214,8 @@ Args parse(int argc, char** argv) {
       args.integral = true;
     } else if (flag == "--trace") {
       args.trace = true;
+    } else if (flag == "--trace-out") {
+      args.trace_out = value();
     } else if (flag == "--dump-paths") {
       args.dump_paths = value();
     } else {
@@ -183,6 +302,7 @@ int engine_main(int argc, char** argv) {
   sor::engine::EngineRunConfig config;
   std::string record_path;
   std::string digest_path;
+  std::string trace_out;
   bool trace_spans = false;
   for (int i = 3; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -230,10 +350,13 @@ int engine_main(int argc, char** argv) {
       digest_path = value();
     } else if (flag == "--trace") {
       trace_spans = true;
+    } else if (flag == "--trace-out") {
+      trace_out = value();
     } else {
       engine_usage(("unknown flag " + flag).c_str());
     }
   }
+  if (!trace_out.empty()) enable_timeline_capture();
 
   if (sub == "run") {
     if (config.k == 0) engine_usage("--k must be positive");
@@ -271,6 +394,7 @@ int engine_main(int argc, char** argv) {
   if (trace_spans) {
     std::cout << "\nspan timings:\n" << sor::telemetry::span_tree_text();
   }
+  if (!trace_out.empty() && !write_trace_out(trace_out)) return 1;
   return 0;
 }
 
@@ -280,7 +404,14 @@ int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "engine") == 0) {
     return engine_main(argc, argv);
   }
+  if (argc >= 2 && std::strcmp(argv[1], "report") == 0) {
+    return report_main(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "diff") == 0) {
+    return diff_main(argc, argv);
+  }
   const Args args = parse(argc, argv);
+  if (!args.trace_out.empty()) enable_timeline_capture();
 
   const sor::Graph g = sor::load_graph(args.graph_path);
   std::cout << "graph: " << g.summary() << "\n";
@@ -345,6 +476,22 @@ int main(int argc, char** argv) {
   std::cout << "offline OPT congestion    : " << report.opt << "\n";
   std::cout << "competitive ratio         : " << report.ratio << "\n";
 
+  const sor::CongestionAttribution attribution = router.attribute(route, 3);
+  if (!attribution.links.empty()) {
+    std::cout << "bottleneck links:\n";
+    for (const sor::LinkAttribution& link : attribution.links) {
+      std::cout << "  " << link.u << "-" << link.v << " util "
+                << link.utilization << " (" << link.contributors.size()
+                << " contributing paths";
+      if (!link.contributors.empty()) {
+        const sor::PathContribution& top = link.contributors.front();
+        std::cout << "; heaviest " << top.src << "->" << top.dst << " share "
+                  << top.share;
+      }
+      std::cout << ")\n";
+    }
+  }
+
   if (args.integral) {
     if (!demand.is_integral()) {
       std::cerr << "--integral requires an integral demand\n";
@@ -363,5 +510,6 @@ int main(int argc, char** argv) {
   if (args.trace) {
     std::cout << "\nspan timings:\n" << sor::telemetry::span_tree_text();
   }
+  if (!args.trace_out.empty() && !write_trace_out(args.trace_out)) return 1;
   return 0;
 }

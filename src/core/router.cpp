@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/attribution.hpp"
 #include "graph/search.hpp"
 #include "telemetry/span.hpp"
 #include "telemetry/telemetry.hpp"
@@ -43,6 +44,11 @@ RestrictedProblem SemiObliviousRouter::build_problem(
     problem.commodities.push_back(std::move(rc));
   }
   return problem;
+}
+
+CongestionAttribution SemiObliviousRouter::attribute(
+    const FractionalRoute& route, std::size_t top_k) const {
+  return attribute_congestion(*graph_, route.problem, route.weights, top_k);
 }
 
 namespace {

@@ -18,6 +18,8 @@
 
 namespace sor {
 
+struct CongestionAttribution;  // core/attribution.hpp
+
 enum class LpBackend {
   kAuto,   // exact when the instance is small, MWU otherwise
   kExact,  // dense simplex
@@ -82,6 +84,13 @@ class SemiObliviousRouter {
   /// Integral routing of an integral demand: randomized rounding of the
   /// fractional solution + congestion local search.
   IntegralRoute route_integral(const Demand& demand, Rng& rng) const;
+
+  /// Diagnostics: decompose `route`'s load into per-link contributor
+  /// breakdowns (see core/attribution.hpp) for the top_k most utilized
+  /// links. `route` must come from this router (its problem/weights pair
+  /// is what gets attributed).
+  CongestionAttribution attribute(const FractionalRoute& route,
+                                  std::size_t top_k = 8) const;
 
   /// Integral routing by ONLINE GREEDY assignment: packets arrive in a
   /// fixed order and each immediately takes the candidate minimizing the

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/recorder.hpp"
 #include "telemetry/span.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/stopwatch.hpp"
@@ -37,6 +38,10 @@ RestrictedProblem EpochController::build_problem(const Demand& demand) const {
                     "pair (" << c.src << "," << c.dst
                              << ") disconnected on the surviving graph");
       SOR_COUNTER("engine/adhoc_fallbacks").add();
+      telemetry::Recorder::global().record(
+          "engine/stranded", {{"src", static_cast<std::uint64_t>(c.src)},
+                              {"dst", static_cast<std::uint64_t>(c.dst)},
+                              {"hops", fallback.hops()}});
       rc.candidates.push_back(std::move(fallback));
     }
     problem.commodities.push_back(std::move(rc));
@@ -107,6 +112,18 @@ EpochReport EpochController::step(std::span<const Event> events,
     report.repair = repairer_.apply_epoch(events, support);
   }
   report.active_failures = repairer_.failed_edges();
+  if (report.repair.churn() > 0 || report.repair.deferred > 0) {
+    telemetry::Recorder::global().record(
+        "engine/repair",
+        {{"epoch", static_cast<std::uint64_t>(report.epoch)},
+         {"deactivated", static_cast<std::uint64_t>(report.repair.deactivated)},
+         {"reactivated", static_cast<std::uint64_t>(report.repair.reactivated)},
+         {"fallbacks_installed",
+          static_cast<std::uint64_t>(report.repair.fallbacks_installed)},
+         {"deferred", static_cast<std::uint64_t>(report.repair.deferred)},
+         {"active_failures",
+          static_cast<std::uint64_t>(report.active_failures)}});
+  }
 
   // Predict; bootstrap epoch routes the realized matrix directly.
   Demand target;
@@ -117,6 +134,10 @@ EpochReport EpochController::step(std::span<const Event> events,
     } else {
       target = predictor_->predict();
       report.prediction_error = relative_l1_error(target, realized);
+      telemetry::Recorder::global().record(
+          "engine/predict",
+          {{"epoch", static_cast<std::uint64_t>(report.epoch)},
+           {"error", report.prediction_error}});
     }
   }
   report.predicted_total = target.total();
@@ -159,6 +180,19 @@ EpochReport EpochController::step(std::span<const Event> events,
       if (!accepted) solution = solve_restricted_exact(problem);
     }
     report.solve_ms = clock.milliseconds();
+    if (have_warm) {
+      // Dual-bound gap of the solution actually installed: 0-ish when the
+      // warm split was accepted as-is, larger when the accept test failed
+      // and the solver had to re-run.
+      const double gap = solution.lower_bound > 0
+                             ? solution.congestion / solution.lower_bound - 1.0
+                             : -1.0;
+      telemetry::Recorder::global().record(
+          "engine/warm", {{"epoch", static_cast<std::uint64_t>(report.epoch)},
+                          {"accepted", solution.warm_accepted},
+                          {"gap", gap},
+                          {"phases", static_cast<std::uint64_t>(solution.phases)}});
+    }
   }
   report.solver_congestion = solution.congestion;
   report.lower_bound = solution.lower_bound;
@@ -179,6 +213,16 @@ EpochReport EpochController::step(std::span<const Event> events,
   }
   SOR_GAUGE("engine/last_congestion").set(report.congestion);
   SOR_COUNTER("engine/epochs").add();
+  telemetry::Recorder::global().record(
+      "engine/epoch",
+      {{"epoch", static_cast<std::uint64_t>(report.epoch)},
+       {"events", static_cast<std::uint64_t>(report.events)},
+       {"congestion", report.congestion},
+       {"solver_congestion", report.solver_congestion},
+       {"warm_accepted", report.warm_accepted},
+       {"phases", static_cast<std::uint64_t>(report.phases)},
+       {"churn", static_cast<std::uint64_t>(report.repair.churn())},
+       {"solve_ms", report.solve_ms}});
 
   predictor_->observe(realized);
   return report;

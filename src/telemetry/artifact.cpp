@@ -1,0 +1,383 @@
+#include "telemetry/artifact.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace sor::telemetry {
+
+namespace {
+
+std::string number_text(const JsonValue& v) {
+  if (v.is_number()) {
+    std::ostringstream os;
+    os << v.as_number();
+    return os.str();
+  }
+  if (v.is_string()) return v.as_string();
+  if (v.is_bool()) return v.as_bool() ? "true" : "false";
+  return v.dump(0);
+}
+
+/// Flattens the span forest into "root/child/..." path → seconds. Span
+/// names already contain '/' (e.g. "engine/solve"); paths join nodes with
+/// " > " so the hierarchy stays readable and unambiguous.
+void flatten_spans(const JsonValue& nodes, const std::string& prefix,
+                   std::map<std::string, double>& out) {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const JsonValue& node = nodes.at(i);
+    if (!node.is_object() || !node.has("name") || !node.has("seconds")) {
+      continue;
+    }
+    const std::string path = prefix.empty()
+                                 ? node.at("name").as_string()
+                                 : prefix + " > " + node.at("name").as_string();
+    out[path] = node.at("seconds").as_number();
+    if (node.has("children")) flatten_spans(node.at("children"), path, out);
+  }
+}
+
+std::map<std::string, double> artifact_spans(const JsonValue& doc) {
+  std::map<std::string, double> out;
+  if (doc.has("spans") && doc.at("spans").is_array()) {
+    flatten_spans(doc.at("spans"), "", out);
+  }
+  return out;
+}
+
+std::map<std::string, double> congestion_gauges(const JsonValue& doc) {
+  std::map<std::string, double> out;
+  if (!doc.has("telemetry")) return out;
+  const JsonValue& telemetry = doc.at("telemetry");
+  if (!telemetry.is_object() || !telemetry.has("gauges")) return out;
+  for (const auto& [name, value] : telemetry.at("gauges").members()) {
+    if (name.find("congestion") != std::string::npos && value.is_number()) {
+      out[name] = value.as_number();
+    }
+  }
+  return out;
+}
+
+double series_max(const JsonValue& series) {
+  double best = 0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (series.at(i).is_number()) best = std::max(best, series.at(i).as_number());
+  }
+  return best;
+}
+
+struct Comparison {
+  std::string metric;
+  double before = 0;
+  double after = 0;
+  bool time_like = false;  // span threshold + noise floor vs congestion
+};
+
+void collect(const JsonValue& before, const JsonValue& after,
+             std::vector<Comparison>& out) {
+  // Congestion gauges present in both.
+  const auto gauges_a = congestion_gauges(before);
+  const auto gauges_b = congestion_gauges(after);
+  for (const auto& [name, value] : gauges_a) {
+    const auto it = gauges_b.find(name);
+    if (it != gauges_b.end()) {
+      out.push_back({"gauge:" + name, value, it->second, false});
+    }
+  }
+
+  // Top-link utilization of the attribution block.
+  const auto top_utilization = [](const JsonValue& doc) -> double {
+    if (!doc.has("attribution")) return -1;
+    const JsonValue& attribution = doc.at("attribution");
+    if (!attribution.is_object() || !attribution.has("max_utilization") ||
+        !attribution.at("max_utilization").is_number()) {
+      return -1;
+    }
+    return attribution.at("max_utilization").as_number();
+  };
+  const double util_a = top_utilization(before);
+  const double util_b = top_utilization(after);
+  if (util_a >= 0 && util_b >= 0) {
+    out.push_back({"attribution:max_utilization", util_a, util_b, false});
+  }
+
+  // Spans, flattened, plus total wall clock.
+  const auto spans_a = artifact_spans(before);
+  const auto spans_b = artifact_spans(after);
+  for (const auto& [path, seconds] : spans_a) {
+    const auto it = spans_b.find(path);
+    if (it != spans_b.end()) {
+      out.push_back({"span:" + path, seconds, it->second, true});
+    }
+  }
+  if (before.has("wall_seconds") && after.has("wall_seconds") &&
+      before.at("wall_seconds").is_number() &&
+      after.at("wall_seconds").is_number()) {
+    out.push_back({"wall_seconds", before.at("wall_seconds").as_number(),
+                   after.at("wall_seconds").as_number(), true});
+  }
+
+  // E16 control-loop block: per-mode peak congestion and solve time.
+  if (before.has("e16") && after.has("e16") && before.at("e16").is_object() &&
+      after.at("e16").is_object() && before.at("e16").has("modes") &&
+      after.at("e16").has("modes")) {
+    const JsonValue& modes_a = before.at("e16").at("modes");
+    const JsonValue& modes_b = after.at("e16").at("modes");
+    for (const auto& [mode, block_a] : modes_a.members()) {
+      if (!modes_b.has(mode)) continue;
+      const JsonValue& block_b = modes_b.at(mode);
+      if (block_a.has("per_epoch_congestion") &&
+          block_b.has("per_epoch_congestion")) {
+        out.push_back({"e16:" + mode + ":peak_congestion",
+                       series_max(block_a.at("per_epoch_congestion")),
+                       series_max(block_b.at("per_epoch_congestion")), false});
+      }
+      if (block_a.has("total_solve_ms") && block_b.has("total_solve_ms") &&
+          block_a.at("total_solve_ms").is_number() &&
+          block_b.at("total_solve_ms").is_number()) {
+        out.push_back({"e16:" + mode + ":total_solve_ms",
+                       block_a.at("total_solve_ms").as_number() / 1e3,
+                       block_b.at("total_solve_ms").as_number() / 1e3, true});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ArtifactDiffResult diff_artifacts(const JsonValue& before,
+                                  const JsonValue& after,
+                                  const ArtifactDiffOptions& options) {
+  ArtifactDiffResult result;
+  if (!before.is_object() || !before.has("experiment") ||
+      !after.is_object() || !after.has("experiment")) {
+    result.error = "document is not a BENCH artifact (no \"experiment\" key)";
+    return result;
+  }
+  const std::string exp_a = before.at("experiment").as_string();
+  const std::string exp_b = after.at("experiment").as_string();
+  if (exp_a != exp_b) {
+    result.error = "artifacts compare different experiments: \"" + exp_a +
+                   "\" vs \"" + exp_b + "\"";
+    return result;
+  }
+
+  std::vector<Comparison> comparisons;
+  collect(before, after, comparisons);
+  for (const Comparison& c : comparisons) {
+    if (c.time_like && c.before < options.span_min_seconds &&
+        c.after < options.span_min_seconds) {
+      continue;  // both under the noise floor
+    }
+    ArtifactDiffEntry entry;
+    entry.metric = c.metric;
+    entry.before = c.before;
+    entry.after = c.after;
+    if (c.before > 0) {
+      entry.relative = (c.after - c.before) / c.before;
+    } else if (c.after > 0) {
+      entry.relative = std::numeric_limits<double>::infinity();
+    }
+    const double threshold =
+        c.time_like ? options.span_threshold : options.congestion_threshold;
+    if (entry.relative > threshold) {
+      result.regressions.push_back(entry);
+    } else if (entry.relative < -threshold) {
+      result.improvements.push_back(entry);
+    } else {
+      result.unchanged.push_back(entry);
+    }
+  }
+  // Worst first, so CI logs lead with the headline.
+  const auto by_relative = [](const ArtifactDiffEntry& a,
+                              const ArtifactDiffEntry& b) {
+    return a.relative > b.relative;
+  };
+  std::sort(result.regressions.begin(), result.regressions.end(), by_relative);
+  std::sort(result.improvements.begin(), result.improvements.end(),
+            [](const ArtifactDiffEntry& a, const ArtifactDiffEntry& b) {
+              return a.relative < b.relative;
+            });
+  return result;
+}
+
+namespace {
+
+void render_entries(const std::vector<ArtifactDiffEntry>& entries,
+                    const char* tag, std::ostream& os) {
+  for (const ArtifactDiffEntry& entry : entries) {
+    os << "  " << std::left << std::setw(44) << entry.metric << std::right
+       << std::setw(12) << entry.before << " -> " << std::setw(12)
+       << entry.after;
+    if (std::isfinite(entry.relative)) {
+      os << "  (" << std::showpos << std::fixed << std::setprecision(1)
+         << entry.relative * 100 << "%" << std::noshowpos
+         << std::defaultfloat << std::setprecision(6) << ")";
+    } else {
+      os << "  (new nonzero)";
+    }
+    os << "  " << tag << "\n";
+  }
+}
+
+}  // namespace
+
+void render_artifact_diff(const ArtifactDiffResult& result, std::ostream& os) {
+  if (!result.comparable()) {
+    os << "not comparable: " << result.error << "\n";
+    return;
+  }
+  render_entries(result.regressions, "REGRESSION", os);
+  render_entries(result.improvements, "improved", os);
+  render_entries(result.unchanged, "ok", os);
+  os << result.regressions.size() << " regression(s), "
+     << result.improvements.size() << " improvement(s), "
+     << result.unchanged.size() << " unchanged\n";
+}
+
+namespace {
+
+void render_table(const JsonValue& table, std::ostream& os) {
+  if (!table.is_object() || !table.has("columns") || !table.has("rows")) {
+    return;
+  }
+  const JsonValue& columns = table.at("columns");
+  const JsonValue& rows = table.at("rows");
+  std::vector<std::size_t> widths(columns.size(), 0);
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    widths[c] = columns.at(c).as_string().size();
+  }
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c < rows.at(r).size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], rows.at(r).at(c).as_string().size());
+    }
+  }
+  const auto print_row = [&](const JsonValue& cells) {
+    os << "  ";
+    for (std::size_t c = 0; c < cells.size() && c < widths.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c] + 2))
+         << cells.at(c).as_string();
+    }
+    os << "\n";
+  };
+  print_row(columns);
+  for (std::size_t r = 0; r < rows.size(); ++r) print_row(rows.at(r));
+}
+
+void render_top_spans(const JsonValue& doc, std::ostream& os) {
+  const auto spans = artifact_spans(doc);
+  if (spans.empty()) return;
+  std::vector<std::pair<std::string, double>> sorted(spans.begin(),
+                                                     spans.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  os << "top spans:\n";
+  const std::size_t top = std::min<std::size_t>(sorted.size(), 10);
+  for (std::size_t i = 0; i < top; ++i) {
+    os << "  " << std::left << std::setw(52) << sorted[i].first << std::right
+       << std::setw(10) << std::fixed << std::setprecision(3)
+       << sorted[i].second * 1e3 << " ms\n";
+  }
+  os << std::defaultfloat << std::setprecision(6);
+}
+
+void render_attribution(const JsonValue& doc, std::ostream& os) {
+  if (!doc.has("attribution") || !doc.at("attribution").is_object()) return;
+  const JsonValue& attribution = doc.at("attribution");
+  if (!attribution.has("links")) return;
+  const JsonValue& links = attribution.at("links");
+  os << "bottleneck links (top " << links.size() << "):\n";
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    const JsonValue& link = links.at(i);
+    os << "  link " << link.at("u").as_number() << "-"
+       << link.at("v").as_number() << "  util "
+       << link.at("utilization").as_number() << "  load "
+       << link.at("load").as_number() << " / cap "
+       << link.at("capacity").as_number() << "\n";
+    const JsonValue& contributors = link.at("contributors");
+    const std::size_t top = std::min<std::size_t>(contributors.size(), 3);
+    for (std::size_t c = 0; c < top; ++c) {
+      const JsonValue& contributor = contributors.at(c);
+      os << "      pair " << contributor.at("src").as_number() << "->"
+         << contributor.at("dst").as_number() << " path#"
+         << contributor.at("path_index").as_number() << " ("
+         << contributor.at("hops").as_number() << " hops)  load "
+         << contributor.at("load").as_number() << "  share "
+         << contributor.at("share").as_number() << "\n";
+    }
+    if (contributors.size() > top) {
+      os << "      ... " << contributors.size() - top
+         << " more contributor(s)\n";
+    }
+  }
+}
+
+void render_events(const JsonValue& doc, std::ostream& os) {
+  if (!doc.has("events") || !doc.at("events").is_object()) return;
+  const JsonValue& block = doc.at("events");
+  if (!block.has("events")) return;
+  const JsonValue& events = block.at("events");
+  std::map<std::string, std::size_t> by_category;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    by_category[events.at(i).at("category").as_string()] += 1;
+  }
+  os << "flight recorder: " << number_text(block.at("total"))
+     << " event(s), " << number_text(block.at("dropped")) << " dropped\n";
+  for (const auto& [category, count] : by_category) {
+    os << "  " << std::left << std::setw(32) << category << std::right
+       << std::setw(8) << count << "\n";
+  }
+  const std::size_t tail = std::min<std::size_t>(events.size(), 5);
+  if (tail > 0) os << "last " << tail << " event(s):\n";
+  for (std::size_t i = events.size() - tail; i < events.size(); ++i) {
+    const JsonValue& event = events.at(i);
+    os << "  [" << std::fixed << std::setprecision(3)
+       << event.at("t").as_number() << std::defaultfloat
+       << std::setprecision(6) << "s] " << event.at("category").as_string();
+    for (const auto& [key, value] : event.at("fields").members()) {
+      os << " " << key << "=" << number_text(value);
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace
+
+void render_artifact_report(const JsonValue& doc, std::ostream& os) {
+  SOR_CHECK_MSG(doc.is_object() && doc.has("experiment"),
+                "document is not a BENCH artifact (no \"experiment\" key)");
+  os << "experiment: " << doc.at("experiment").as_string();
+  if (doc.has("title")) os << "  —  " << doc.at("title").as_string();
+  os << "\n";
+  if (doc.has("claim")) os << "claim: " << doc.at("claim").as_string() << "\n";
+  if (doc.has("git_describe")) {
+    os << "tree: " << doc.at("git_describe").as_string();
+    if (doc.has("quick_mode") && doc.at("quick_mode").is_bool() &&
+        doc.at("quick_mode").as_bool()) {
+      os << "  (quick mode)";
+    }
+    os << "\n";
+  }
+  if (doc.has("schema_version")) {
+    os << "schema: v" << number_text(doc.at("schema_version")) << "\n";
+  }
+  if (doc.has("wall_seconds")) {
+    os << "wall: " << number_text(doc.at("wall_seconds")) << " s\n";
+  }
+  os << "\n";
+  if (doc.has("table")) {
+    render_table(doc.at("table"), os);
+    os << "\n";
+  }
+  render_top_spans(doc, os);
+  render_attribution(doc, os);
+  render_events(doc, os);
+}
+
+}  // namespace sor::telemetry

@@ -1,0 +1,76 @@
+#pragma once
+
+// Consuming BENCH_<id>.json artifacts: a human-readable report of one
+// artifact and a regression diff between two artifacts of the same
+// experiment. This is the library half of `sor_cli report` / `sor_cli
+// diff`; it lives here (not in the CLI) so the regression logic is unit
+// tested without subprocesses, and kept Table-free so sor_telemetry still
+// links nothing beyond Threads.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.hpp"
+
+namespace sor::telemetry {
+
+/// Renders a multi-section summary: header (experiment/claim/provenance),
+/// the reproduction table, the slowest spans, the bottleneck links (when
+/// the artifact carries an "attribution" block), and flight-recorder
+/// highlights (when it carries an "events" block). Tolerates artifacts
+/// missing optional blocks; throws CheckError only on documents that are
+/// not artifact-shaped at all (no "experiment").
+void render_artifact_report(const JsonValue& doc, std::ostream& os);
+
+struct ArtifactDiffOptions {
+  /// Relative increase on a congestion metric flagged as a regression.
+  double congestion_threshold = 0.02;
+  /// Relative increase on a time metric (span seconds, solve ms, wall
+  /// clock) flagged as a regression. Wide by default: wall clock is
+  /// noisy between runs even at identical work.
+  double span_threshold = 0.50;
+  /// Time metrics below this many seconds in the old artifact are ignored
+  /// entirely — sub-noise-floor spans regress by large factors for free.
+  double span_min_seconds = 0.05;
+};
+
+struct ArtifactDiffEntry {
+  std::string metric;  // e.g. "gauge:engine/last_congestion", "span:cli/online"
+  double before = 0;
+  double after = 0;
+  /// (after - before) / before; +inf when before == 0 and after > 0.
+  double relative = 0;
+};
+
+struct ArtifactDiffResult {
+  std::vector<ArtifactDiffEntry> regressions;
+  std::vector<ArtifactDiffEntry> improvements;
+  std::vector<ArtifactDiffEntry> unchanged;
+  /// Non-empty when the two documents are not comparable (different
+  /// experiments, not artifacts); the vectors are then empty.
+  std::string error;
+
+  bool comparable() const { return error.empty(); }
+  bool regressed() const { return !regressions.empty(); }
+};
+
+/// Compares two artifacts of the same experiment. Metrics compared:
+///  * every gauge whose name contains "congestion" present in both, and
+///    the top-link utilization of the "attribution" block (congestion
+///    threshold);
+///  * every span (flattened root/child path) present in both, plus
+///    wall_seconds and the E16 modes' total_solve_ms (span threshold,
+///    with the span_min_seconds noise floor);
+///  * the max of each E16 per_epoch_congestion series (congestion
+///    threshold).
+/// Metrics present in only one artifact are skipped — schema growth is
+/// not a regression.
+ArtifactDiffResult diff_artifacts(const JsonValue& before,
+                                  const JsonValue& after,
+                                  const ArtifactDiffOptions& options = {});
+
+/// One line per compared metric plus a verdict line.
+void render_artifact_diff(const ArtifactDiffResult& result, std::ostream& os);
+
+}  // namespace sor::telemetry

@@ -1,5 +1,6 @@
 #include "telemetry/export.hpp"
 
+#include <algorithm>
 #include <ostream>
 
 namespace sor::telemetry {
@@ -71,6 +72,72 @@ JsonValue spans_to_json(const std::vector<SpanSnapshot>& spans) {
 }
 
 JsonValue spans_to_json() { return spans_to_json(snapshot_spans()); }
+
+JsonValue recorder_to_json(const Recorder& recorder) {
+  JsonValue doc = JsonValue::object();
+  doc.set("capacity", static_cast<std::uint64_t>(recorder.capacity()));
+  doc.set("dropped", recorder.dropped());
+  doc.set("total", recorder.recorded());
+  JsonValue events = JsonValue::array();
+  for (const RecorderEvent& event : recorder.snapshot()) {
+    JsonValue e = JsonValue::object();
+    e.set("t", event.seconds);
+    e.set("category", event.category);
+    JsonValue fields = JsonValue::object();
+    for (const auto& [key, value] : event.fields) fields.set(key, value);
+    e.set("fields", std::move(fields));
+    events.push(std::move(e));
+  }
+  doc.set("events", std::move(events));
+  return doc;
+}
+
+JsonValue chrome_trace_json(const std::vector<TimelineEvent>& timeline,
+                            const std::vector<RecorderEvent>& events) {
+  // Build (ts_us, json) pairs so the merged stream can be sorted once;
+  // chrome://tracing tolerates unsorted input but the schema checker (and
+  // humans reading the raw file) get monotone timestamps.
+  std::vector<std::pair<double, JsonValue>> entries;
+  entries.reserve(timeline.size() + events.size());
+  for (const TimelineEvent& span : timeline) {
+    JsonValue e = JsonValue::object();
+    e.set("name", span.name);
+    e.set("cat", "span");
+    e.set("ph", "X");
+    e.set("ts", span.start_seconds * 1e6);
+    e.set("dur", span.duration_seconds * 1e6);
+    e.set("pid", 1);
+    e.set("tid", static_cast<std::uint64_t>(span.thread));
+    entries.emplace_back(span.start_seconds * 1e6, std::move(e));
+  }
+  for (const RecorderEvent& event : events) {
+    JsonValue e = JsonValue::object();
+    e.set("name", event.category);
+    e.set("cat", "recorder");
+    e.set("ph", "i");
+    e.set("ts", event.seconds * 1e6);
+    e.set("pid", 1);
+    e.set("tid", 0);
+    e.set("s", "p");  // process-scoped instant marker
+    JsonValue args = JsonValue::object();
+    for (const auto& [key, value] : event.fields) args.set(key, value);
+    e.set("args", std::move(args));
+    entries.emplace_back(event.seconds * 1e6, std::move(e));
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  JsonValue trace_events = JsonValue::array();
+  for (auto& [ts, e] : entries) trace_events.push(std::move(e));
+  JsonValue doc = JsonValue::object();
+  doc.set("traceEvents", std::move(trace_events));
+  doc.set("displayTimeUnit", "ms");
+  return doc;
+}
+
+JsonValue chrome_trace_json() {
+  return chrome_trace_json(snapshot_timeline(), Recorder::global().snapshot());
+}
 
 void write_registry_csv(std::ostream& os, const Registry& registry) {
   os << "kind,name,field,value\n";

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "telemetry/json.hpp"
+#include "telemetry/recorder.hpp"
 #include "telemetry/span.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -31,6 +32,20 @@ JsonValue registry_to_json(const Registry& registry = Registry::global());
 
 JsonValue spans_to_json(const std::vector<SpanSnapshot>& spans);
 JsonValue spans_to_json();  // snapshot_spans() of the global forest
+
+/// Flight-recorder snapshot:
+///   {"capacity": n, "dropped": d, "total": t,
+///    "events": [{"t": seconds, "category": str, "fields": {...}}, ...]}
+/// Events are oldest-first with non-decreasing "t".
+JsonValue recorder_to_json(const Recorder& recorder = Recorder::global());
+
+/// Chrome trace-event document (load in chrome://tracing or Perfetto):
+/// completed timeline spans as "X" (complete) events and flight-recorder
+/// events as "i" (instant) events, merged and sorted by timestamp.
+/// Timestamps/durations are microseconds on the monotonic_seconds() base.
+JsonValue chrome_trace_json(const std::vector<TimelineEvent>& timeline,
+                            const std::vector<RecorderEvent>& events);
+JsonValue chrome_trace_json();  // global timeline + global recorder
 
 void write_registry_csv(std::ostream& os,
                         const Registry& registry = Registry::global());

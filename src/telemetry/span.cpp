@@ -1,8 +1,10 @@
 #include "telemetry/span.hpp"
 
+#include <atomic>
 #include <mutex>
 #include <sstream>
 
+#include "telemetry/recorder.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace sor::telemetry {
@@ -30,6 +32,29 @@ SpanForest& forest() {
 }
 
 thread_local SpanNode* t_current = nullptr;
+
+// Timeline buffer: individual span invocations, completion order. Kept
+// separate from the aggregate forest so the default (timeline off) pays
+// nothing but one relaxed atomic load per span exit.
+std::atomic<bool> g_timeline_on{false};
+
+struct Timeline {
+  std::mutex mu;
+  std::vector<TimelineEvent> events;
+  std::size_t capacity = 65536;
+  std::uint64_t dropped = 0;
+};
+
+Timeline& timeline() {
+  static Timeline* t = new Timeline();  // leaked, like the forest
+  return *t;
+}
+
+std::uint32_t timeline_thread_index() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id = next.fetch_add(1);
+  return id;
+}
 
 SpanNode* find_or_create(std::vector<std::unique_ptr<SpanNode>>& siblings,
                          SpanNode* parent, const char* name) {
@@ -67,11 +92,64 @@ ScopedSpan::~ScopedSpan() {
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();
-  auto& f = detail::forest();
-  std::lock_guard lock(f.mu);
-  node_->count += 1;
-  node_->seconds += elapsed;
-  detail::t_current = saved_;
+  {
+    auto& f = detail::forest();
+    std::lock_guard lock(f.mu);
+    node_->count += 1;
+    node_->seconds += elapsed;
+    detail::t_current = saved_;
+  }
+  if (detail::g_timeline_on.load(std::memory_order_relaxed)) {
+    TimelineEvent event;
+    event.name = node_->name;
+    event.thread = detail::timeline_thread_index();
+    event.start_seconds = monotonic_seconds() - elapsed;
+    event.duration_seconds = elapsed;
+    auto& t = detail::timeline();
+    std::lock_guard lock(t.mu);
+    if (t.events.size() < t.capacity) {
+      t.events.push_back(std::move(event));
+    } else {
+      ++t.dropped;
+    }
+  }
+}
+
+bool timeline_enabled() {
+  return detail::g_timeline_on.load(std::memory_order_relaxed);
+}
+
+void set_timeline_enabled(bool on) {
+  detail::g_timeline_on.store(on, std::memory_order_relaxed);
+}
+
+void set_timeline_capacity(std::size_t capacity) {
+  auto& t = detail::timeline();
+  std::lock_guard lock(t.mu);
+  t.capacity = capacity;
+  if (t.events.size() > capacity) {
+    t.dropped += t.events.size() - capacity;
+    t.events.resize(capacity);
+  }
+}
+
+std::vector<TimelineEvent> snapshot_timeline() {
+  auto& t = detail::timeline();
+  std::lock_guard lock(t.mu);
+  return t.events;
+}
+
+std::uint64_t timeline_dropped() {
+  auto& t = detail::timeline();
+  std::lock_guard lock(t.mu);
+  return t.dropped;
+}
+
+void reset_timeline() {
+  auto& t = detail::timeline();
+  std::lock_guard lock(t.mu);
+  t.events.clear();
+  t.dropped = 0;
 }
 
 namespace {

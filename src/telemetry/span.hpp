@@ -74,6 +74,39 @@ void reset_spans();
 /// Indented one-line-per-node rendering (for --trace style dumps).
 std::string span_tree_text();
 
+// --- Timeline mode -------------------------------------------------------
+//
+// The span tree aggregates (count + total seconds); the timeline keeps the
+// individual invocations: every completed span appends one timestamped
+// event to a bounded buffer, which telemetry/export.hpp turns into a
+// Chrome trace-event document (chrome://tracing / Perfetto). Off by
+// default — it costs one buffer append per span exit and memory per
+// invocation — and gated on the same SOR_TELEMETRY kill switch (a span
+// that was never opened cannot be timed). Enable via set_timeline_enabled
+// (sor_cli does so for --trace-out) before the work to be traced.
+
+/// One completed span invocation on the shared monotonic_seconds() base.
+struct TimelineEvent {
+  std::string name;
+  std::uint32_t thread = 0;  // dense per-process thread index
+  double start_seconds = 0;
+  double duration_seconds = 0;
+};
+
+bool timeline_enabled();
+void set_timeline_enabled(bool on);
+
+/// Bounds the timeline buffer; once full, further events are dropped (and
+/// counted) rather than evicting earlier ones — the head of a trace is
+/// what explains the tail. Default 65536 events.
+void set_timeline_capacity(std::size_t capacity);
+
+/// Copies the buffered events in completion order.
+std::vector<TimelineEvent> snapshot_timeline();
+/// Events rejected because the buffer was full.
+std::uint64_t timeline_dropped();
+void reset_timeline();
+
 }  // namespace sor::telemetry
 
 #define SOR_SPAN_CONCAT_INNER(a, b) a##b

@@ -1,0 +1,216 @@
+// Unit tests for telemetry/artifact.hpp: the regression diff between two
+// BENCH_<id>.json artifacts and the human-readable report renderer (the
+// library behind `sor_cli diff` / `sor_cli report`).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "telemetry/artifact.hpp"
+#include "telemetry/json.hpp"
+#include "util/check.hpp"
+
+namespace sor {
+namespace {
+
+using telemetry::ArtifactDiffOptions;
+using telemetry::ArtifactDiffResult;
+using telemetry::JsonValue;
+
+/// Minimal but schema-shaped artifact with one congestion gauge, one span,
+/// and an attribution header.
+JsonValue make_artifact(double congestion, double span_seconds,
+                        double max_utilization) {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema_version", 2);
+  doc.set("experiment", "T1");
+  doc.set("title", "T1: test artifact");
+  doc.set("claim", "diffable");
+  doc.set("quick_mode", true);
+  doc.set("wall_seconds", span_seconds * 2);
+
+  JsonValue gauges = JsonValue::object();
+  gauges.set("engine/last_congestion", congestion);
+  gauges.set("engine/unrelated", 42.0);
+  JsonValue telemetry_block = JsonValue::object();
+  telemetry_block.set("counters", JsonValue::object());
+  telemetry_block.set("gauges", std::move(gauges));
+  telemetry_block.set("histograms", JsonValue::object());
+  doc.set("telemetry", std::move(telemetry_block));
+
+  JsonValue span = JsonValue::object();
+  span.set("name", "test/solve");
+  span.set("count", 1);
+  span.set("seconds", span_seconds);
+  span.set("children", JsonValue::array());
+  JsonValue spans = JsonValue::array();
+  spans.push(std::move(span));
+  doc.set("spans", std::move(spans));
+
+  JsonValue attribution = JsonValue::object();
+  attribution.set("top_k", 0);
+  attribution.set("loaded_links", 0);
+  attribution.set("max_utilization", max_utilization);
+  attribution.set("links", JsonValue::array());
+  doc.set("attribution", std::move(attribution));
+
+  JsonValue table = JsonValue::object();
+  JsonValue columns = JsonValue::array();
+  columns.push("metric");
+  columns.push("value");
+  JsonValue rows = JsonValue::array();
+  JsonValue row = JsonValue::array();
+  row.push("congestion");
+  row.push("1.0");
+  rows.push(std::move(row));
+  table.set("columns", std::move(columns));
+  table.set("rows", std::move(rows));
+  doc.set("table", std::move(table));
+  return doc;
+}
+
+TEST(ArtifactDiff, SelfDiffReportsNoRegressions) {
+  const JsonValue doc = make_artifact(1.5, 2.0, 1.2);
+  const ArtifactDiffResult result = telemetry::diff_artifacts(doc, doc);
+  ASSERT_TRUE(result.comparable());
+  EXPECT_FALSE(result.regressed());
+  EXPECT_TRUE(result.improvements.empty());
+  EXPECT_FALSE(result.unchanged.empty());
+}
+
+TEST(ArtifactDiff, FlagsCongestionRegressionAboveThreshold) {
+  const JsonValue before = make_artifact(1.0, 2.0, 1.0);
+  const JsonValue after = make_artifact(1.10, 2.0, 1.0);  // +10%
+  const ArtifactDiffResult result = telemetry::diff_artifacts(before, after);
+  ASSERT_TRUE(result.comparable());
+  ASSERT_TRUE(result.regressed());
+  EXPECT_EQ(result.regressions[0].metric, "gauge:engine/last_congestion");
+  EXPECT_NEAR(result.regressions[0].relative, 0.10, 1e-9);
+}
+
+TEST(ArtifactDiff, CongestionThresholdIsConfigurable) {
+  const JsonValue before = make_artifact(1.0, 2.0, 1.0);
+  const JsonValue after = make_artifact(1.10, 2.0, 1.0);
+  ArtifactDiffOptions options;
+  options.congestion_threshold = 0.25;  // 10% bump now within slack
+  const ArtifactDiffResult result =
+      telemetry::diff_artifacts(before, after, options);
+  ASSERT_TRUE(result.comparable());
+  EXPECT_FALSE(result.regressed());
+}
+
+TEST(ArtifactDiff, FlagsAttributionUtilizationRegression) {
+  const JsonValue before = make_artifact(1.0, 2.0, 1.0);
+  const JsonValue after = make_artifact(1.0, 2.0, 1.2);
+  const ArtifactDiffResult result = telemetry::diff_artifacts(before, after);
+  ASSERT_TRUE(result.regressed());
+  EXPECT_EQ(result.regressions[0].metric, "attribution:max_utilization");
+}
+
+TEST(ArtifactDiff, FlagsSpanRegressionAboveItsThreshold) {
+  const JsonValue before = make_artifact(1.0, 1.0, 1.0);
+  const JsonValue after = make_artifact(1.0, 2.0, 1.0);  // 2× slower span
+  const ArtifactDiffResult result = telemetry::diff_artifacts(before, after);
+  ASSERT_TRUE(result.regressed());
+  bool found = false;
+  for (const auto& entry : result.regressions) {
+    found = found || entry.metric == "span:test/solve";
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ArtifactDiff, SubNoiseFloorSpansAreIgnored) {
+  // 10× regression, but both sides are far under span_min_seconds.
+  const JsonValue before = make_artifact(1.0, 0.001, 1.0);
+  const JsonValue after = make_artifact(1.0, 0.010, 1.0);
+  const ArtifactDiffResult result = telemetry::diff_artifacts(before, after);
+  ASSERT_TRUE(result.comparable());
+  EXPECT_FALSE(result.regressed());
+  for (const auto& entry : result.unchanged) {
+    EXPECT_NE(entry.metric, "span:test/solve");
+  }
+}
+
+TEST(ArtifactDiff, ImprovementsAreClassifiedNotFlagged) {
+  const JsonValue before = make_artifact(2.0, 2.0, 2.0);
+  const JsonValue after = make_artifact(1.0, 2.0, 1.0);
+  const ArtifactDiffResult result = telemetry::diff_artifacts(before, after);
+  ASSERT_TRUE(result.comparable());
+  EXPECT_FALSE(result.regressed());
+  EXPECT_GE(result.improvements.size(), 2u);
+}
+
+TEST(ArtifactDiff, ZeroToPositiveIsAnInfiniteRegression) {
+  const JsonValue before = make_artifact(0.0, 2.0, 1.0);
+  const JsonValue after = make_artifact(0.5, 2.0, 1.0);
+  const ArtifactDiffResult result = telemetry::diff_artifacts(before, after);
+  ASSERT_TRUE(result.regressed());
+  EXPECT_TRUE(std::isinf(result.regressions[0].relative));
+}
+
+TEST(ArtifactDiff, DifferentExperimentsAreNotComparable) {
+  JsonValue before = make_artifact(1.0, 2.0, 1.0);
+  JsonValue after = make_artifact(1.0, 2.0, 1.0);
+  after.set("experiment", "T2");
+  const ArtifactDiffResult result = telemetry::diff_artifacts(before, after);
+  EXPECT_FALSE(result.comparable());
+  EXPECT_TRUE(result.regressions.empty());
+  EXPECT_FALSE(result.error.empty());
+}
+
+TEST(ArtifactDiff, NonArtifactDocumentsAreNotComparable) {
+  const JsonValue not_artifact = JsonValue::object();
+  const JsonValue doc = make_artifact(1.0, 2.0, 1.0);
+  EXPECT_FALSE(telemetry::diff_artifacts(not_artifact, doc).comparable());
+  EXPECT_FALSE(telemetry::diff_artifacts(doc, not_artifact).comparable());
+}
+
+TEST(ArtifactDiff, MetricsPresentOnOneSideOnlyAreSkipped) {
+  const JsonValue before = make_artifact(1.0, 2.0, 1.0);
+  JsonValue after = make_artifact(1.0, 2.0, 1.0);
+  JsonValue extra_gauges = JsonValue::object();
+  extra_gauges.set("new/congestion_metric", 99.0);
+  JsonValue telemetry_block = JsonValue::object();
+  telemetry_block.set("counters", JsonValue::object());
+  telemetry_block.set("gauges", std::move(extra_gauges));
+  telemetry_block.set("histograms", JsonValue::object());
+  after.set("telemetry", std::move(telemetry_block));
+  const ArtifactDiffResult result = telemetry::diff_artifacts(before, after);
+  ASSERT_TRUE(result.comparable());
+  EXPECT_FALSE(result.regressed());  // schema growth is not a regression
+}
+
+TEST(ArtifactRender, DiffOutputNamesEveryBucket) {
+  const JsonValue before = make_artifact(1.0, 2.0, 1.0);
+  const JsonValue after = make_artifact(1.2, 2.0, 0.5);
+  const ArtifactDiffResult result = telemetry::diff_artifacts(before, after);
+  std::ostringstream os;
+  telemetry::render_artifact_diff(result, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(text.find("improved"), std::string::npos);
+  EXPECT_NE(text.find("regression(s)"), std::string::npos);
+}
+
+TEST(ArtifactRender, ReportRendersHeaderTableAndSpans) {
+  const JsonValue doc = make_artifact(1.5, 2.0, 1.2);
+  std::ostringstream os;
+  telemetry::render_artifact_report(doc, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("experiment: T1"), std::string::npos);
+  EXPECT_NE(text.find("claim: diffable"), std::string::npos);
+  EXPECT_NE(text.find("schema: v2"), std::string::npos);
+  EXPECT_NE(text.find("test/solve"), std::string::npos);  // top span
+  EXPECT_NE(text.find("congestion"), std::string::npos);  // table cell
+}
+
+TEST(ArtifactRender, ReportRejectsNonArtifacts) {
+  std::ostringstream os;
+  EXPECT_THROW(
+      telemetry::render_artifact_report(JsonValue::object(), os),
+      CheckError);
+}
+
+}  // namespace
+}  // namespace sor

@@ -5,6 +5,7 @@
 
 #include <cmath>
 
+#include "core/attribution.hpp"
 #include "core/evaluate.hpp"
 #include "core/path_system.hpp"
 #include "core/router.hpp"
@@ -383,6 +384,95 @@ TEST(Evaluate, EmptyDemandRatioOne) {
   const Graph g = make_grid(2, 2);
   const CompetitiveReport r = competitive_ratio(g, 0.0, Demand{});
   EXPECT_DOUBLE_EQ(r.ratio, 1.0);
+}
+
+TEST(Attribution, DiamondSplitsAttributeExactly) {
+  Graph g(4);
+  const EdgeId e0 = g.add_edge(0, 1);
+  const EdgeId e1 = g.add_edge(0, 2);
+  const EdgeId e2 = g.add_edge(1, 3);
+  const EdgeId e3 = g.add_edge(2, 3);
+  PathSystem ps;
+  ps.add(Path{0, 3, {e0, e2}});
+  ps.add(Path{0, 3, {e1, e3}});
+  Demand d;
+  d.add(0, 3, 1.0);
+  const SemiObliviousRouter router(g, ps);
+  const FractionalRoute route = router.route_fractional(d);
+  const CongestionAttribution a = router.attribute(route);
+  // All four unit-capacity edges carry the half split.
+  EXPECT_EQ(a.loaded_links, 4u);
+  ASSERT_EQ(a.links.size(), 4u);
+  EXPECT_NEAR(a.max_utilization, route.congestion, 1e-9);
+  for (const LinkAttribution& link : a.links) {
+    EXPECT_NEAR(link.utilization, 0.5, 1e-6);
+    ASSERT_EQ(link.contributors.size(), 1u);
+    EXPECT_EQ(link.contributors[0].src, 0u);
+    EXPECT_EQ(link.contributors[0].dst, 3u);
+    EXPECT_NEAR(link.contributors[0].share, link.utilization, 1e-12);
+  }
+}
+
+TEST(Attribution, SharesSumToUtilizationPerLink) {
+  const Graph g = make_grid(3, 3);
+  const KspRouting routing(g, 4);
+  SampleOptions sample;
+  sample.k = 3;
+  const PathSystem ps = sample_path_system_all_pairs(routing, sample, 7);
+  const Demand d = gravity_demand(g, 12.0);
+  const SemiObliviousRouter router(g, ps);
+  const FractionalRoute route = router.route_fractional(d);
+  const CongestionAttribution a = router.attribute(route, 5);
+  ASSERT_FALSE(a.links.empty());
+  EXPECT_LE(a.links.size(), 5u);
+  EXPECT_GE(a.loaded_links, a.links.size());
+  EXPECT_NEAR(a.max_utilization, route.congestion, 1e-9);
+  double previous = a.links.front().utilization;
+  for (const LinkAttribution& link : a.links) {
+    EXPECT_LE(link.utilization, previous + 1e-12);  // sorted, heaviest first
+    previous = link.utilization;
+    double share_sum = 0;
+    double load_sum = 0;
+    for (const PathContribution& c : link.contributors) {
+      EXPECT_GT(c.load, 0.0);
+      share_sum += c.share;
+      load_sum += c.load;
+    }
+    EXPECT_NEAR(share_sum, link.utilization, 1e-9);
+    EXPECT_NEAR(load_sum, link.load, 1e-9);
+    // Contributors sorted by load, heaviest first.
+    for (std::size_t i = 1; i < link.contributors.size(); ++i) {
+      EXPECT_LE(link.contributors[i].load,
+                link.contributors[i - 1].load + 1e-12);
+    }
+  }
+}
+
+TEST(Attribution, JsonShapeCarriesShareInvariant) {
+  const Graph g = make_grid(3, 3);
+  const KspRouting routing(g, 4);
+  SampleOptions sample;
+  sample.k = 2;
+  const PathSystem ps = sample_path_system_all_pairs(routing, sample, 9);
+  const Demand d = gravity_demand(g, 8.0);
+  const SemiObliviousRouter router(g, ps);
+  const FractionalRoute route = router.route_fractional(d);
+  const telemetry::JsonValue doc =
+      attribution_to_json(router.attribute(route, 4));
+  ASSERT_TRUE(doc.has("links"));
+  ASSERT_TRUE(doc.has("max_utilization"));
+  ASSERT_TRUE(doc.has("loaded_links"));
+  const telemetry::JsonValue& links = doc.at("links");
+  ASSERT_GT(links.size(), 0u);
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    const telemetry::JsonValue& link = links.at(i);
+    double share_sum = 0;
+    const telemetry::JsonValue& contributors = link.at("contributors");
+    for (std::size_t c = 0; c < contributors.size(); ++c) {
+      share_sum += contributors.at(c).at("share").as_number();
+    }
+    EXPECT_NEAR(share_sum, link.at("utilization").as_number(), 1e-6);
+  }
 }
 
 }  // namespace

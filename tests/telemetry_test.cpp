@@ -14,9 +14,11 @@
 #include "oblivious/shortest_path.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/json.hpp"
+#include "telemetry/recorder.hpp"
 #include "telemetry/span.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/parallel.hpp"
+#include "util/stats.hpp"
 
 namespace sor {
 namespace {
@@ -265,6 +267,212 @@ TEST(TelemetryKillSwitch, SolverResultsUnchangedWhenDisabled) {
   const double without_telemetry = router.route_fractional(d).congestion;
   telemetry::set_enabled(true);
   EXPECT_DOUBLE_EQ(with_telemetry, without_telemetry);
+}
+
+TEST(HistogramQuantiles, EmptyHistogramSummarizesToZero) {
+  const std::vector<std::uint64_t> empty_counts(8, 0);
+  const StatsSummary s = summarize_histogram(empty_counts, 0.0, 1.0);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+  EXPECT_DOUBLE_EQ(s.p95, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(HistogramQuantiles, SingleBucketPutsEveryQuantileAtItsMidpoint) {
+  const std::vector<std::uint64_t> counts = {17};
+  const StatsSummary s = summarize_histogram(counts, 0.0, 10.0);
+  EXPECT_EQ(s.count, 17u);
+  EXPECT_DOUBLE_EQ(s.p50, 5.0);
+  EXPECT_DOUBLE_EQ(s.p95, 5.0);
+  EXPECT_DOUBLE_EQ(s.p99, 5.0);
+}
+
+TEST(HistogramQuantiles, AllValuesEqualCollapseTheQuantiles) {
+  const ScopedEnable enable;
+  auto& hist = SOR_HISTOGRAM("test/all_equal_hist", 0.0, 10.0, 10);
+  hist.reset();
+  for (int i = 0; i < 100; ++i) hist.observe(3.0);
+  const StatsSummary s = hist.summary();
+  EXPECT_EQ(s.count, 100u);
+  // Every value landed in the [3, 4) bucket, so every quantile is that
+  // bucket's midpoint, the mean is exact, and max is the exact extremum.
+  EXPECT_DOUBLE_EQ(s.p50, 3.5);
+  EXPECT_DOUBLE_EQ(s.p95, 3.5);
+  EXPECT_DOUBLE_EQ(s.p99, 3.5);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+}
+
+TEST(TelemetryRegistry, ConcurrentInterningAndUpdates) {
+  const ScopedEnable enable;
+  // Threads race both the name→metric interning map and the metric
+  // updates themselves (this is the case SOR_SANITIZE=thread watches).
+  const std::size_t n = 8000;
+  parallel_for(n, [&](std::size_t i) {
+    auto& registry = telemetry::Registry::global();
+    registry.counter("test/registry_race_" + std::to_string(i % 4)).add();
+    registry.gauge("test/registry_race_gauge").set(static_cast<double>(i));
+  });
+  std::uint64_t total = 0;
+  for (const auto& [name, value] : telemetry::Registry::global().counters()) {
+    if (name.rfind("test/registry_race_", 0) == 0) total += value;
+  }
+  EXPECT_GE(total, n);  // >= because other suite runs may share names
+}
+
+TEST(Recorder, RecordsEventsInOrderWithFields) {
+  const ScopedEnable enable;
+  telemetry::Recorder recorder(16);
+  recorder.record("cat/a", {{"x", 1.5}, {"label", "first"}});
+  recorder.record("cat/b", {{"n", std::uint64_t{7}}});
+  const auto events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].category, "cat/a");
+  EXPECT_EQ(events[1].category, "cat/b");
+  EXPECT_GE(events[0].seconds, 0.0);
+  EXPECT_LE(events[0].seconds, events[1].seconds);
+  ASSERT_EQ(events[0].fields.size(), 2u);
+  EXPECT_EQ(events[0].fields[0].first, "x");
+  EXPECT_DOUBLE_EQ(events[0].fields[0].second.as_number(), 1.5);
+  EXPECT_EQ(events[0].fields[1].second.as_string(), "first");
+  EXPECT_EQ(recorder.recorded(), 2u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+}
+
+TEST(Recorder, RingEvictsOldestAndCountsDrops) {
+  const ScopedEnable enable;
+  telemetry::Recorder recorder(4);
+  for (int i = 0; i < 10; ++i) {
+    recorder.record("evict", {{"i", static_cast<double>(i)}});
+  }
+  EXPECT_EQ(recorder.recorded(), 10u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+  const auto events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t k = 0; k < events.size(); ++k) {
+    EXPECT_DOUBLE_EQ(events[k].fields[0].second.as_number(),
+                     static_cast<double>(6 + k));  // newest 4, oldest first
+  }
+}
+
+TEST(Recorder, SetCapacityKeepsNewestInOrder) {
+  const ScopedEnable enable;
+  telemetry::Recorder recorder(8);
+  for (int i = 0; i < 12; ++i) {
+    recorder.record("resize", {{"i", static_cast<double>(i)}});
+  }
+  recorder.set_capacity(3);  // shrink a wrapped ring
+  auto events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_DOUBLE_EQ(events[0].fields[0].second.as_number(), 9.0);
+  recorder.set_capacity(6);  // grow again; order must survive
+  recorder.record("resize", {{"i", 12.0}});
+  events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t k = 0; k + 1 < events.size(); ++k) {
+    EXPECT_LT(events[k].fields[0].second.as_number(),
+              events[k + 1].fields[0].second.as_number());
+  }
+}
+
+TEST(Recorder, KillSwitchSuppressesRecording) {
+  const ScopedEnable enable;
+  telemetry::Recorder recorder(8);
+  telemetry::set_enabled(false);
+  recorder.record("off", {{"x", 1.0}});
+  telemetry::set_enabled(true);
+  EXPECT_EQ(recorder.recorded(), 0u);
+  EXPECT_TRUE(recorder.snapshot().empty());
+}
+
+TEST(Recorder, ConcurrentRecordsAreAllCounted) {
+  const ScopedEnable enable;
+  telemetry::Recorder recorder(256);
+  const std::size_t n = 4000;
+  parallel_for(n, [&](std::size_t i) {
+    recorder.record("race", {{"i", static_cast<double>(i)}});
+  });
+  EXPECT_EQ(recorder.recorded(), n);
+  EXPECT_EQ(recorder.dropped(), n - 256);
+  const auto events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 256u);
+  for (std::size_t k = 1; k < events.size(); ++k) {
+    EXPECT_LE(events[k - 1].seconds, events[k].seconds);
+  }
+}
+
+TEST(Timeline, DisabledByDefaultRecordsNothing) {
+  const ScopedEnable enable;
+  telemetry::reset_timeline();
+  { SOR_SPAN("test/timeline_off"); }
+  EXPECT_TRUE(telemetry::snapshot_timeline().empty());
+}
+
+TEST(Timeline, CapturesNestedSpanIntervals) {
+  const ScopedEnable enable;
+  telemetry::reset_timeline();
+  telemetry::set_timeline_enabled(true);
+  {
+    SOR_SPAN("test/tl_outer");
+    { SOR_SPAN("test/tl_inner"); }
+  }
+  telemetry::set_timeline_enabled(false);
+  const auto events = telemetry::snapshot_timeline();
+  telemetry::reset_timeline();
+  ASSERT_EQ(events.size(), 2u);
+  // Completion order: inner closes first.
+  EXPECT_EQ(events[0].name, "test/tl_inner");
+  EXPECT_EQ(events[1].name, "test/tl_outer");
+  for (const auto& e : events) {
+    EXPECT_GE(e.start_seconds, 0.0);
+    EXPECT_GE(e.duration_seconds, 0.0);
+  }
+  // The inner interval nests inside the outer one (small slack for the
+  // clock reads around the span boundaries).
+  EXPECT_LE(events[1].start_seconds, events[0].start_seconds + 1e-9);
+  EXPECT_GE(events[1].start_seconds + events[1].duration_seconds,
+            events[0].start_seconds + events[0].duration_seconds - 1e-9);
+}
+
+TEST(Timeline, CapacityDropsNewestAndCounts) {
+  const ScopedEnable enable;
+  telemetry::reset_timeline();
+  telemetry::set_timeline_capacity(2);
+  telemetry::set_timeline_enabled(true);
+  { SOR_SPAN("test/tl_1"); }
+  { SOR_SPAN("test/tl_2"); }
+  { SOR_SPAN("test/tl_3"); }
+  { SOR_SPAN("test/tl_4"); }
+  telemetry::set_timeline_enabled(false);
+  const auto events = telemetry::snapshot_timeline();
+  const std::uint64_t dropped = telemetry::timeline_dropped();
+  telemetry::reset_timeline();
+  telemetry::set_timeline_capacity(65536);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "test/tl_1");  // drop-newest keeps the head
+  EXPECT_EQ(events[1].name, "test/tl_2");
+  EXPECT_EQ(dropped, 2u);
+}
+
+TEST(TelemetryExport, ChromeTraceMergesAndSortsEvents) {
+  std::vector<telemetry::TimelineEvent> timeline;
+  timeline.push_back({"span_late", 0, 0.002, 0.001});
+  timeline.push_back({"span_early", 1, 0.0005, 0.0001});
+  std::vector<telemetry::RecorderEvent> events;
+  events.push_back({0.001, "marker", {{"k", JsonValue(3.0)}}});
+  const JsonValue doc = telemetry::chrome_trace_json(timeline, events);
+  ASSERT_TRUE(doc.has("traceEvents"));
+  const JsonValue& trace = doc.at("traceEvents");
+  ASSERT_EQ(trace.size(), 3u);
+  // Sorted by microsecond timestamp: early span, marker, late span.
+  EXPECT_EQ(trace.at(0).at("name").as_string(), "span_early");
+  EXPECT_EQ(trace.at(1).at("name").as_string(), "marker");
+  EXPECT_EQ(trace.at(2).at("name").as_string(), "span_late");
+  EXPECT_EQ(trace.at(0).at("ph").as_string(), "X");
+  EXPECT_EQ(trace.at(1).at("ph").as_string(), "i");
+  EXPECT_DOUBLE_EQ(trace.at(0).at("dur").as_number(), 100.0);
+  EXPECT_DOUBLE_EQ(trace.at(1).at("args").at("k").as_number(), 3.0);
 }
 
 }  // namespace
