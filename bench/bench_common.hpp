@@ -38,8 +38,11 @@ namespace sor::bench {
 
 /// Bumped whenever the artifact gains or changes blocks; check_bench_json
 /// enforces it. v2: added schema_version, the "events" flight-recorder
-/// block, and the optional "attribution" block.
-inline constexpr int kArtifactSchemaVersion = 2;
+/// block, and the optional "attribution" block. v3: added the
+/// "convergence" block (per-solve iteration traces, see
+/// telemetry/observer.hpp) and the cost/<subsystem>/* accounting counters
+/// inside "telemetry".
+inline constexpr int kArtifactSchemaVersion = 3;
 
 namespace detail {
 // Captured at static initialization — close enough to process start for
@@ -139,6 +142,7 @@ inline telemetry::JsonValue artifact_json(const std::string& id,
   doc.set("telemetry", telemetry::registry_to_json());
   doc.set("spans", telemetry::spans_to_json());
   doc.set("events", telemetry::recorder_to_json());
+  doc.set("convergence", telemetry::convergence_to_json());
   return doc;
 }
 

@@ -24,6 +24,30 @@ int main() {
                           : std::vector<std::uint32_t>{4, 5, 6, 7, 8};
   const std::size_t trials = bench::scaled(3, 1);
 
+  // Exact-backend cross-check on the smallest instance, run FIRST so its
+  // simplex trace is captured before the scaling loop can fill the
+  // bounded convergence collector. Its purpose is dual: a sanity line
+  // (simplex and MWU must agree up to the MWU's ε) and a guaranteed
+  // simplex convergence trace in this artifact's "convergence" block
+  // alongside the MCF/MWU ones (the scaling table below only exercises
+  // the approximate solvers).
+  {
+    const Graph g = make_hypercube(4);
+    const ValiantHypercube routing(g, 4);
+    SampleOptions sample;
+    sample.k = 2;
+    const PathSystem ps = sample_path_system_all_pairs(routing, sample, 77);
+    Rng rng(7040);
+    const Demand demand = random_permutation_demand(g, rng);
+    RouterOptions exact_options;
+    exact_options.backend = LpBackend::kExact;
+    const SemiObliviousRouter exact_router(g, ps, exact_options);
+    const double exact = exact_router.route_fractional(demand).congestion;
+    const double approx = bench::sor_congestion(g, ps, demand);
+    std::cout << "exact cross-check (d=4, k=2): simplex " << exact << " vs mwu "
+              << approx << "\n";
+  }
+
   Table table({"d", "n", "k", "ratio_mean"});
   for (const std::uint32_t d : dims) {
     const Graph g = make_hypercube(d);

@@ -191,6 +191,87 @@ void check_attribution(const JsonValue& doc) {
   }
 }
 
+/// The schema-v3 convergence block (telemetry/observer.hpp). The exported
+/// values are best-so-far envelopes, so the invariants are strict:
+///  * the reservoir is bounded: points.size() <= max_points, and
+///    iterations >= points.size();
+///  * point iterations strictly increase;
+///  * objective is non-increasing, bound non-decreasing;
+///  * gap carries the -1 "no dual information yet" sentinel in a prefix,
+///    then is non-negative (up to float noise) and non-increasing once a
+///    bound exists — a positive-going gap means the envelope logic broke.
+/// Returns the set of solver names seen (E12 asserts on it).
+std::set<std::string> check_convergence(const JsonValue& doc) {
+  check_member(doc, "convergence", JsonValue::Kind::kObject, "object");
+  const JsonValue& block = doc.at("convergence");
+  check_member(block, "capacity", JsonValue::Kind::kNumber, "number");
+  check_member(block, "dropped", JsonValue::Kind::kNumber, "number");
+  check_member(block, "traces", JsonValue::Kind::kArray, "array");
+  const JsonValue& traces = block.at("traces");
+  require(traces.size() <= block.at("capacity").as_number(),
+          "convergence/traces exceeds convergence/capacity");
+  std::set<std::string> solvers;
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const std::string where = "convergence/traces[" + std::to_string(i) + "]";
+    const JsonValue& trace = traces.at(i);
+    require(trace.is_object(), where + " is not an object");
+    check_member(trace, "solver", JsonValue::Kind::kString, "string");
+    check_member(trace, "label", JsonValue::Kind::kString, "string");
+    check_member(trace, "iterations", JsonValue::Kind::kNumber, "number");
+    check_member(trace, "max_points", JsonValue::Kind::kNumber, "number");
+    check_member(trace, "truncated", JsonValue::Kind::kBool, "bool");
+    check_member(trace, "counters", JsonValue::Kind::kObject, "object");
+    check_member(trace, "points", JsonValue::Kind::kArray, "array");
+    solvers.insert(trace.at("solver").as_string());
+    const JsonValue& points = trace.at("points");
+    require(points.size() <= trace.at("max_points").as_number(),
+            where + " has more points than max_points (unbounded reservoir)");
+    require(trace.at("iterations").as_number() >=
+                static_cast<double>(points.size()),
+            where + " has more points than iterations");
+    double last_iteration = -1;
+    double last_objective = 0;
+    double last_bound = 0;
+    double last_gap = 0;
+    bool gap_known = false;
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      const std::string pw = where + "/points[" + std::to_string(p) + "]";
+      const JsonValue& point = points.at(p);
+      require(point.is_object(), pw + " is not an object");
+      for (const char* key : {"iteration", "t", "objective", "bound", "gap"}) {
+        check_member(point, key, JsonValue::Kind::kNumber, "number");
+      }
+      const double iteration = point.at("iteration").as_number();
+      const double objective = point.at("objective").as_number();
+      const double bound = point.at("bound").as_number();
+      const double gap = point.at("gap").as_number();
+      require(iteration > last_iteration,
+              pw + " iteration does not strictly increase");
+      require(p == 0 || objective <= last_objective + 1e-9,
+              pw + " objective increases (best-so-far envelope broken)");
+      require(bound >= 0, pw + " has negative bound");
+      require(p == 0 || bound >= last_bound - 1e-12,
+              pw + " bound decreases (best-so-far envelope broken)");
+      if (gap == -1) {
+        require(!gap_known, pw + " reverts to the -1 gap sentinel after a "
+                                 "bound was known");
+        require(bound == 0, pw + " has the -1 gap sentinel with a bound");
+      } else {
+        require(gap >= -1e-6, pw + " has a negative gap (primal below the "
+                                   "certified dual bound)");
+        require(!gap_known || gap <= last_gap + 1e-9,
+                pw + " gap increases (best-so-far envelope broken)");
+        gap_known = true;
+        last_gap = gap;
+      }
+      last_iteration = iteration;
+      last_objective = objective;
+      last_bound = bound;
+    }
+  }
+  return solvers;
+}
+
 /// --chrome-trace: trace-event JSON with sorted non-negative timestamps
 /// and non-negative durations on complete ("X") events.
 int check_chrome_trace(const JsonValue& doc) {
@@ -213,7 +294,8 @@ int check_chrome_trace(const JsonValue& doc) {
     require(ts >= last_ts, where + " timestamps not non-decreasing");
     last_ts = ts;
     const std::string& ph = event.at("ph").as_string();
-    require(ph == "X" || ph == "i", where + " has unexpected phase " + ph);
+    require(ph == "X" || ph == "i" || ph == "C",
+            where + " has unexpected phase " + ph);
     if (ph == "X") {
       check_member(event, "dur", JsonValue::Kind::kNumber, "number");
       require(event.at("dur").as_number() >= 0, where + " has negative dur");
@@ -256,8 +338,8 @@ int main(int argc, char** argv) {
 
   require(doc.is_object(), "top level is not an object");
   check_member(doc, "schema_version", JsonValue::Kind::kNumber, "number");
-  require(doc.at("schema_version").as_number() >= 2,
-          "schema_version < 2 (artifact written by an old bench build)");
+  require(doc.at("schema_version").as_number() >= 3,
+          "schema_version < 3 (artifact written by an old bench build)");
   check_member(doc, "experiment", JsonValue::Kind::kString, "string");
   check_member(doc, "title", JsonValue::Kind::kString, "string");
   check_member(doc, "claim", JsonValue::Kind::kString, "string");
@@ -301,7 +383,21 @@ int main(int argc, char** argv) {
   }
 
   check_events(doc);
+  const std::set<std::string> solvers = check_convergence(doc);
   if (doc.has("attribution")) check_attribution(doc);
+  if (doc.at("experiment").as_string() == "E12") {
+    // E12 exercises MCF (opt baselines), MWU (semi-oblivious routing), and
+    // the exact simplex (cross-check block), so a telemetry-enabled run
+    // must carry a trace from each of the iterative solvers.
+    require(solvers.count("mcf") == 1,
+            "E12 artifact has no mcf convergence trace (observer threading "
+            "or SOR_TELEMETRY off)");
+    require(solvers.count("simplex") == 1,
+            "E12 artifact has no simplex convergence trace (exact "
+            "cross-check missing or SOR_TELEMETRY off)");
+    require(solvers.count("mwu") == 1,
+            "E12 artifact has no mwu convergence trace");
+  }
   if (doc.at("experiment").as_string() == "E16") {
     check_e16(doc);
     require(doc.has("attribution"), "E16 artifact is missing attribution");

@@ -6,6 +6,7 @@
 //   sor_cli engine replay --record FILE [--digest FILE] [--trace]
 //   sor_cli report BENCH_x.json
 //   sor_cli diff OLD.json NEW.json [diff options]
+//   sor_cli profile BENCH_x.json
 //
 // Options:
 //   --graph FILE      edge-list graph: first line "<n>", then "u v [cap]"
@@ -30,6 +31,9 @@
 //   --backend NAME    mwu | exact                        (default mwu)
 //   --churn-budget N  per-epoch path install budget      (default 8)
 //   --cold            disable warm-started re-solves
+//   --solve-deadline-ms N  per-epoch solve budget; a solve that exceeds it
+//                     is truncated at a feasible point ("trunc" column,
+//                     engine/solve_truncated recorder event). 0 = none
 //   --record FILE     save the run record (trace + config) for replay
 //   --digest FILE     write the deterministic run digest (JSON)
 //
@@ -43,6 +47,9 @@
 //     --congestion-threshold X    relative congestion slack  (default 0.02)
 //     --span-threshold X          relative time slack        (default 0.50)
 //     --span-min-seconds X        time-metric noise floor    (default 0.05)
+//   sor_cli profile BENCH_x.json  solver-introspection view: per-subsystem
+//                                 cost accounting (time/calls/bytes) and
+//                                 the schema-v3 convergence traces
 //
 // Prints the installed system's statistics, the achieved congestion, the
 // offline optimum, and the competitive ratio; `engine run` prints the
@@ -143,6 +150,22 @@ int report_main(int argc, char** argv) {
   return 0;
 }
 
+int profile_main(int argc, char** argv) {
+  if (argc != 3) {
+    std::cerr << "usage: sor_cli profile BENCH_x.json\n";
+    return 2;
+  }
+  const auto doc = load_json(argv[2]);
+  if (!doc) return 2;
+  try {
+    sor::telemetry::render_artifact_profile(*doc, std::cout);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}
+
 int diff_main(int argc, char** argv) {
   sor::telemetry::ArtifactDiffOptions options;
   std::vector<std::string> paths;
@@ -188,7 +211,8 @@ int diff_main(int argc, char** argv) {
                "[--dump-paths FILE] [--trace] [--trace-out FILE]\n"
                "       sor_cli engine run|replay [options]\n"
                "       sor_cli report BENCH_x.json\n"
-               "       sor_cli diff OLD.json NEW.json [options]\n";
+               "       sor_cli diff OLD.json NEW.json [options]\n"
+               "       sor_cli profile BENCH_x.json\n";
   std::exit(2);
 }
 
@@ -248,8 +272,8 @@ std::unique_ptr<sor::ObliviousRouting> make_source(const std::string& name,
   std::cerr << "usage: sor_cli engine run [--wan abilene|b4|geant] "
                "[--graph FILE] [--k N] [--source racke|ksp|sp] [--seed N] "
                "[--epochs N] [--predictor ewma|peak] [--backend mwu|exact] "
-               "[--churn-budget N] [--cold] [--record FILE] [--digest FILE] "
-               "[--trace]\n"
+               "[--churn-budget N] [--cold] [--solve-deadline-ms N] "
+               "[--record FILE] [--digest FILE] [--trace]\n"
                "       sor_cli engine replay --record FILE [--digest FILE] "
                "[--trace]\n";
   std::exit(2);
@@ -258,7 +282,7 @@ std::unique_ptr<sor::ObliviousRouting> make_source(const std::string& name,
 void print_engine_result(const sor::engine::EngineRunRecord& record,
                          const sor::engine::ControlLoopResult& result) {
   sor::Table table({"epoch", "events", "fail", "pred_err", "congestion",
-                    "warm", "phases", "churn", "solve_ms"});
+                    "warm", "phases", "trunc", "churn", "solve_ms"});
   for (const sor::engine::EpochReport& r : result.epochs) {
     table.add_row(
         {sor::Table::fmt_int(static_cast<long long>(r.epoch)),
@@ -267,6 +291,7 @@ void print_engine_result(const sor::engine::EngineRunRecord& record,
          sor::Table::fmt(r.prediction_error, 4), sor::Table::fmt(r.congestion, 4),
          std::string(r.warm_accepted ? "yes" : "no"),
          sor::Table::fmt_int(static_cast<long long>(r.phases)),
+         std::string(r.truncated ? "yes" : "no"),
          sor::Table::fmt_int(static_cast<long long>(r.repair.churn())),
          sor::Table::fmt(r.solve_ms, 2)});
   }
@@ -344,6 +369,8 @@ int engine_main(int argc, char** argv) {
       config.engine.repair.churn_budget = std::stoull(value());
     } else if (flag == "--cold") {
       config.engine.warm_start = false;
+    } else if (flag == "--solve-deadline-ms") {
+      config.engine.solve_deadline_ms = std::stoull(value());
     } else if (flag == "--record") {
       record_path = value();
     } else if (flag == "--digest") {
@@ -409,6 +436,9 @@ int main(int argc, char** argv) {
   }
   if (argc >= 2 && std::strcmp(argv[1], "diff") == 0) {
     return diff_main(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "profile") == 0) {
+    return profile_main(argc, argv);
   }
   const Args args = parse(argc, argv);
   if (!args.trace_out.empty()) enable_timeline_capture();

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <mutex>
+#include <utility>
 
 #include "demand/generators.hpp"
 #include "flow/maxflow.hpp"
+#include "telemetry/observer.hpp"
 #include "telemetry/span.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/parallel.hpp"
@@ -47,6 +50,15 @@ PathSystem sample_path_system(const ObliviousRouting& routing,
         .observe(static_cast<double>(count));
   });
 
+  // Per-pair sampled counts, aggregated single-threaded after the
+  // parallel loop (pairs in the input may repeat under canonicalization).
+  std::map<std::pair<Vertex, Vertex>, std::size_t> sampled_by_pair;
+  if (telemetry::enabled()) {
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      sampled_by_pair[{pairs[i].a, pairs[i].b}] += sampled[i].size();
+    }
+  }
+
   PathSystem system;
   for (auto& list : sampled) {
     for (Path& p : list) system.add(std::move(p));
@@ -58,9 +70,26 @@ PathSystem sample_path_system(const ObliviousRouting& routing,
     // Installed (post-dedup) sparsity per pair — the k that matters for
     // Theorem 2.5's trade-off.
     auto& sparsity = SOR_HISTOGRAM("sampler/sparsity_per_pair", 0.0, 64.0, 64);
+    // Accepted = distinct canonical paths installed for the pair;
+    // rejected = sampled draws that collapsed onto an already-installed
+    // path. A high rejected share means k (or λ·k) overshoots the pair's
+    // path diversity. Exported as a counts-only "sampler" trace plus a
+    // per-pair histogram.
+    telemetry::SolveObserver observer("sampler");
+    auto& rejected_hist =
+        SOR_HISTOGRAM("sampler/paths_rejected_per_pair", 0.0, 64.0, 64);
     for (const VertexPair& pair : system.pairs()) {
-      sparsity.observe(
-          static_cast<double>(system.canonical_paths(pair.a, pair.b).size()));
+      const std::size_t accepted =
+          system.canonical_paths(pair.a, pair.b).size();
+      sparsity.observe(static_cast<double>(accepted));
+      const auto it = sampled_by_pair.find({pair.a, pair.b});
+      const std::size_t drawn =
+          it != sampled_by_pair.end() ? it->second : accepted;
+      const std::size_t rejected = drawn > accepted ? drawn - accepted : 0;
+      rejected_hist.observe(static_cast<double>(rejected));
+      observer.count("pairs");
+      observer.count("paths_accepted", accepted);
+      observer.count("paths_rejected", rejected);
     }
   }
   return system;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
+#include "telemetry/observer.hpp"
 #include "telemetry/recorder.hpp"
 #include "telemetry/span.hpp"
 #include "telemetry/telemetry.hpp"
@@ -147,6 +149,16 @@ EpochReport EpochController::step(std::span<const Event> events,
   {
     SOR_SPAN("engine/solve");
     Stopwatch clock;
+    // Budget the solve: the scope installs a thread-local deadline the
+    // solvers poll at their safe points. Truncated solves still return a
+    // feasible split (see EngineOptions::solve_deadline_ms), so the epoch
+    // proceeds normally below — install, measure, feed the predictor.
+    telemetry::ProgressReporter budget_reporter;
+    std::optional<telemetry::ProgressScope> budget;
+    if (options_.solve_deadline_ms > 0) {
+      budget_reporter.deadline_seconds = options_.solve_deadline_ms / 1000.0;
+      budget.emplace(budget_reporter);
+    }
     const bool have_warm = options_.warm_start && !installed_.empty() &&
                            !warm_lengths_.empty();
     RestrictedWarmStart warm;
@@ -198,7 +210,18 @@ EpochReport EpochController::step(std::span<const Event> events,
   report.lower_bound = solution.lower_bound;
   report.warm_accepted = solution.warm_accepted;
   report.phases = solution.phases;
+  report.truncated = solution.truncated;
   if (solution.warm_accepted) SOR_COUNTER("engine/warm_accepts").add();
+  if (solution.truncated) {
+    SOR_COUNTER("engine/solves_truncated").add();
+    telemetry::Recorder::global().record(
+        "engine/solve_truncated",
+        {{"epoch", static_cast<std::uint64_t>(report.epoch)},
+         {"deadline_ms", options_.solve_deadline_ms},
+         {"solve_ms", report.solve_ms},
+         {"phases", static_cast<std::uint64_t>(solution.phases)},
+         {"congestion", solution.congestion}});
+  }
 
   install(problem, solution);
 

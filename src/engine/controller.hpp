@@ -44,6 +44,15 @@ struct EngineOptions {
   double ewma_alpha = 0.5;
   std::size_t peak_window = 4;
   RepairOptions repair;
+  /// Wall-clock budget for each epoch's LP solve, in milliseconds
+  /// (0 = unlimited). When the budget expires the solver stops at its
+  /// next safe point and returns a feasible-but-unoptimized split (MWU:
+  /// the scaled prefix of completed phases; exact: the uniform candidate
+  /// split), the epoch completes with that split installed, and a
+  /// structured "engine/solve_truncated" recorder event is emitted.
+  /// Deliberately NOT part of the replay record format: truncation points
+  /// depend on wall clock, so budgeted runs are not byte-replayable.
+  double solve_deadline_ms = 0;
 };
 
 struct EpochReport {
@@ -64,6 +73,9 @@ struct EpochReport {
   double lower_bound = 0;
   bool warm_accepted = false;
   std::size_t phases = 0;
+  /// The solve hit EngineOptions::solve_deadline_ms (or a cancel hook)
+  /// and the installed split is the solver's documented fallback.
+  bool truncated = false;
   RepairReport repair;
   /// Wall clock of the LP solve — the only nondeterministic field; the
   /// replay digest excludes it.

@@ -211,6 +211,7 @@ telemetry::JsonValue digest_json(const EngineRunRecord& record,
     row.set("lower_bound", r.lower_bound);
     row.set("warm_accepted", r.warm_accepted);
     row.set("phases", static_cast<std::uint64_t>(r.phases));
+    row.set("truncated", r.truncated);
     row.set("deactivated", static_cast<std::uint64_t>(r.repair.deactivated));
     row.set("reactivated", static_cast<std::uint64_t>(r.repair.reactivated));
     row.set("fallbacks",

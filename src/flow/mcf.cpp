@@ -6,6 +6,7 @@
 #include <map>
 
 #include "graph/search.hpp"
+#include "telemetry/observer.hpp"
 #include "telemetry/span.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
@@ -52,6 +53,7 @@ McfResult min_congestion_routing(const Graph& g,
                                  std::span<const Commodity> commodities,
                                  const McfOptions& options) {
   SOR_SPAN("mcf/solve");
+  SOR_COST_SCOPE("mcf");
   SOR_COUNTER("mcf/solves").add();
   SOR_CHECK(options.epsilon > 0 && options.epsilon < 1);
   for (const Commodity& c : commodities) {
@@ -79,9 +81,18 @@ McfResult min_congestion_routing(const Graph& g,
 
   const auto by_source = group_by_source(commodities);
 
+  telemetry::SolveObserver observer("mcf");
   double best_lower = 0;
   std::size_t phase = 0;
   for (; phase < options.max_phases; ++phase) {
+    // Deadline poll at phase boundaries only, after at least one full
+    // phase: the scaled prefix of completed phases is feasible, so a
+    // truncated result is still a usable routing.
+    if (phase > 0 && telemetry::solve_deadline_exceeded()) {
+      result.truncated = true;
+      observer.mark_truncated();
+      break;
+    }
     for (std::size_t j = 0; j < commodities.size(); ++j) {
       const Commodity& c = commodities[j];
       double remaining = c.amount;
@@ -109,6 +120,9 @@ McfResult min_congestion_routing(const Graph& g,
         max_congestion(g, result.load) / static_cast<double>(phase + 1);
     best_lower = std::max(
         best_lower, dual_bound(g, commodities, by_source, lengths));
+    // Per-phase primal/dual pair; the observer derives the gap (the
+    // primal/dual ratio minus one) from its best-so-far envelopes.
+    observer.observe(phase + 1, upper, best_lower);
     if (best_lower > 0 && upper / best_lower <= 1.0 + eps) {
       ++phase;
       break;
@@ -130,7 +144,8 @@ McfResult min_congestion_routing(const Graph& g,
   SOR_COUNTER("mcf/phases").add(phase);
   SOR_GAUGE("mcf/duality_gap")
       .set(result.congestion / std::max(best_lower, 1e-300));
-  if (result.congestion / std::max(best_lower, 1e-300) > 1.0 + eps) {
+  if (!result.truncated &&
+      result.congestion / std::max(best_lower, 1e-300) > 1.0 + eps) {
     SOR_LOG(kWarn) << "mcf hit max_phases with gap "
                    << result.congestion / best_lower << " (target "
                    << 1.0 + eps << ")";

@@ -48,6 +48,11 @@ struct McfResult {
   /// empty unless options.record_paths). Weights sum to each commodity's
   /// amount.
   std::vector<std::unordered_map<Path, double, PathHash>> paths;
+  /// True when a telemetry deadline/cancel hook stopped the solve at a
+  /// phase boundary. The returned routing (the scaled prefix of completed
+  /// phases) is still feasible, and lower_bound is still certified; only
+  /// the (1+ε) gap guarantee is lost.
+  bool truncated = false;
 };
 
 /// Approximates OPT(D) for the given commodities. All commodities must

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "lp/simplex.hpp"
+#include "telemetry/observer.hpp"
 #include "telemetry/span.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
@@ -118,6 +119,7 @@ RestrictedSolution route_restricted_fractions(
 
 RestrictedSolution solve_restricted_exact(const RestrictedProblem& problem) {
   SOR_SPAN("lp/exact");
+  SOR_COST_SCOPE("lp_exact");  // inclusive of the nested simplex cost
   SOR_COUNTER("lp/exact_solves").add();
   validate_restricted_problem(problem);
   [[maybe_unused]] const Graph& g = *problem.graph;
@@ -180,6 +182,20 @@ RestrictedSolution solve_restricted_exact(const RestrictedProblem& problem) {
   }
 
   const LpSolution lp_solution = solve_lp(lp);
+  if (lp_solution.status == LpStatus::kTruncated ||
+      lp_solution.status == LpStatus::kIterLimit) {
+    // Budgeted solve ran out of time (or pivots): fall back to the
+    // uniform candidate split — always feasible, never optimal — so the
+    // caller's epoch completes instead of failing.
+    SOR_COUNTER("lp/exact_truncated").add();
+    std::vector<std::vector<double>> uniform(problem.commodities.size());
+    for (std::size_t j = 0; j < problem.commodities.size(); ++j) {
+      uniform[j].assign(problem.commodities[j].candidates.size(), 1.0);
+    }
+    RestrictedSolution fallback = route_restricted_fractions(problem, uniform);
+    fallback.truncated = true;
+    return fallback;
+  }
   SOR_CHECK_MSG(lp_solution.status == LpStatus::kOptimal,
                 "restricted LP did not solve to optimality (status "
                     << static_cast<int>(lp_solution.status) << ")");
@@ -204,6 +220,7 @@ RestrictedSolution solve_restricted_exact(const RestrictedProblem& problem) {
 RestrictedSolution solve_restricted_mwu(const RestrictedProblem& problem,
                                         const RestrictedMwuOptions& options) {
   SOR_SPAN("lp/mwu");
+  SOR_COST_SCOPE("mwu");
   SOR_COUNTER("lp/mwu_solves").add();
   validate_restricted_problem(problem);
   SOR_CHECK(options.epsilon > 0 && options.epsilon < 1);
@@ -286,9 +303,22 @@ RestrictedSolution solve_restricted_mwu(const RestrictedProblem& problem,
     return len;
   };
 
+  // Warm-vs-cold is the interesting axis for re-solve cost: the control
+  // loop lives on warm solves being cheap, so the trace label and the
+  // phase counters split on it.
+  telemetry::SolveObserver observer("mwu", warm_lengths ? "warm" : "cold");
   double best_lower = 0;
+  bool truncated = false;
   std::size_t phase = 0;
   for (; phase < options.max_phases; ++phase) {
+    // Deadline poll at phase boundaries only, and only once at least one
+    // phase has completed: the scaled prefix of completed phases is a
+    // feasible routing, so truncating here always returns a usable split.
+    if (phase > 0 && telemetry::solve_deadline_exceeded()) {
+      truncated = true;
+      observer.mark_truncated();
+      break;
+    }
     for (std::size_t j = 0; j < problem.commodities.size(); ++j) {
       const auto& c = problem.commodities[j];
       double remaining = c.demand;
@@ -347,6 +377,10 @@ RestrictedSolution solve_restricted_mwu(const RestrictedProblem& problem,
 
     const double upper =
         max_congestion(g, solution.load) / static_cast<double>(phase + 1);
+    // Per-phase primal/dual trajectory: `upper` is the feasible scaled
+    // congestion, `best_lower` the duality certificate; their ratio is
+    // the current approximation gap.
+    observer.observe(phase + 1, upper, best_lower);
     if (upper <= 1e-12) {  // all candidates are empty paths
       ++phase;
       break;
@@ -366,13 +400,24 @@ RestrictedSolution solve_restricted_mwu(const RestrictedProblem& problem,
   solution.congestion = max_congestion(g, solution.load);
   solution.lower_bound = best_lower;
   solution.phases = phase;
+  solution.truncated = truncated;
   normalize_lengths(lengths);
   solution.dual_lengths = std::move(lengths);
   SOR_COUNTER("mwu/phases").add(phase);
+  // Two call sites, not a ternary name: SOR_COUNTER interns its name into
+  // a function-local static on first execution.
+  if (warm_lengths) {
+    SOR_COUNTER("mwu/phases_warm").add(phase);
+  } else {
+    SOR_COUNTER("mwu/phases_cold").add(phase);
+  }
   if (best_lower > 0) {
     SOR_GAUGE("mwu/duality_gap").set(solution.congestion / best_lower);
   }
-  if (best_lower > 0 && solution.congestion / best_lower > 1.0 + eps) {
+  // A wide gap is only alarming when the solver *tried* to close it; a
+  // truncated solve stopped because the caller's budget said so.
+  if (!truncated && best_lower > 0 &&
+      solution.congestion / best_lower > 1.0 + eps) {
     SOR_LOG(kWarn) << "restricted MWU stopped at gap "
                    << solution.congestion / best_lower;
   }

@@ -58,6 +58,11 @@ struct RestrictedSolution {
   /// Normalized to max = 1 (the dual bound is scale-invariant) so
   /// feeding them back epoch after epoch cannot overflow.
   std::vector<double> dual_lengths;
+  /// True when a telemetry deadline/cancel hook stopped the solve early.
+  /// The returned routing is still feasible (MWU: the scaled prefix of
+  /// completed phases; exact: uniform split over candidates) but carries
+  /// no optimality guarantee; lower_bound remains valid when non-zero.
+  bool truncated = false;
 };
 
 /// Warm-start state carried between epochs of the TE control loop: the
@@ -92,6 +97,9 @@ struct RestrictedMwuOptions {
 
 /// Exact optimum via simplex. Throws CheckError if the solver fails
 /// numerically (does not happen on the instance sizes it is used for).
+/// If a telemetry deadline/cancel hook truncates the simplex (or it hits
+/// its iteration cap), falls back to the uniform candidate split and
+/// returns it with truncated = true instead of failing.
 RestrictedSolution solve_restricted_exact(const RestrictedProblem& problem);
 
 /// (1+ε)-approximate optimum via multiplicative weights (optionally

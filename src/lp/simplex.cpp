@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "telemetry/observer.hpp"
 #include "telemetry/span.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
@@ -31,11 +32,21 @@ class Tableau {
 
   /// Runs the simplex method on the current cost vector. Assumes the
   /// current basis columns form the identity. Returns kOptimal or
-  /// kUnbounded / kIterLimit.
-  LpStatus optimize(std::size_t max_iterations) {
+  /// kUnbounded / kIterLimit / kTruncated (deadline or cancel hook; polled
+  /// every 64 pivots to keep the poll off the per-pivot critical path).
+  /// Pivot/degeneracy totals accumulate into `stats`; each pivot's
+  /// objective is offered to `observer` so the trace shows per-pivot
+  /// progress (label = phase, since phase-1 and phase-2 objectives are
+  /// incomparable).
+  LpStatus optimize(std::size_t max_iterations, LpSolution& stats,
+                    telemetry::SolveObserver& observer) {
     reduced_from_basis();
     std::size_t degenerate_streak = 0;
     for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+      if (iter % 64 == 0 && telemetry::solve_deadline_exceeded()) {
+        observer.mark_truncated();
+        return LpStatus::kTruncated;
+      }
       const bool bland = degenerate_streak > 2 * cols_;
       const std::size_t entering = pick_entering(bland);
       if (entering == cols_) return LpStatus::kOptimal;
@@ -43,10 +54,17 @@ class Tableau {
       if (leaving == rows_) return LpStatus::kUnbounded;
       if (b_[leaving] < kZeroTol) {
         ++degenerate_streak;
+        ++stats.degenerate_pivots;
+        SOR_COUNTER("simplex/degenerate_pivots").add();
+        observer.count("degenerate_pivots");
       } else {
         degenerate_streak = 0;
       }
+      if (bland) observer.count("bland_pivots");
       pivot(leaving, entering);
+      ++stats.iterations;
+      // No dual bound is tracked by this tableau: bound 0 = unknown.
+      observer.observe(stats.iterations, objective_value(), 0);
     }
     return LpStatus::kIterLimit;
   }
@@ -186,6 +204,7 @@ class Tableau {
 
 LpSolution solve_lp(const LpProblem& problem, std::size_t max_iterations) {
   SOR_SPAN("lp/simplex");
+  SOR_COST_SCOPE("simplex");
   SOR_COUNTER("simplex/solves").add();
   const std::size_t n = problem.objective.size();
   const std::size_t m = problem.constraints.size();
@@ -206,6 +225,10 @@ LpSolution solve_lp(const LpProblem& problem, std::size_t max_iterations) {
   const std::size_t cols = first_artificial + m;
 
   Tableau t(m, cols);
+  // Approximate working-set footprint: the dense tableau dominates.
+  SOR_COUNTER("cost/simplex/bytes")
+      .add(static_cast<std::uint64_t>(m) * cols * sizeof(double));
+  LpSolution solution;
   std::size_t slack_cursor = first_slack;
   for (std::size_t r = 0; r < m; ++r) {
     const LpConstraint& c = problem.constraints[r];
@@ -234,12 +257,19 @@ LpSolution solve_lp(const LpProblem& problem, std::size_t max_iterations) {
 
   // Phase 1: minimize the sum of artificials.
   {
+    telemetry::SolveObserver observer("simplex", "phase1");
     std::vector<double> phase1_cost(cols, 0.0);
     for (std::size_t r = 0; r < m; ++r) phase1_cost[first_artificial + r] = 1.0;
     t.set_cost(std::move(phase1_cost));
-    const LpStatus status = t.optimize(max_iterations);
-    if (status == LpStatus::kIterLimit) return {LpStatus::kIterLimit, 0, {}};
-    if (t.objective_value() > 1e-7) return {LpStatus::kInfeasible, 0, {}};
+    const LpStatus status = t.optimize(max_iterations, solution, observer);
+    if (status == LpStatus::kIterLimit || status == LpStatus::kTruncated) {
+      solution.status = status;
+      return solution;
+    }
+    if (t.objective_value() > 1e-7) {
+      solution.status = LpStatus::kInfeasible;
+      return solution;
+    }
     t.drive_out_artificials(first_artificial);
   }
 
@@ -247,6 +277,7 @@ LpSolution solve_lp(const LpProblem& problem, std::size_t max_iterations) {
   // them a prohibitive cost (they are at value 0 and never re-enter
   // because their reduced cost stays positive).
   {
+    telemetry::SolveObserver observer("simplex", "phase2");
     std::vector<double> phase2_cost(cols, 0.0);
     for (std::size_t j = 0; j < n; ++j) phase2_cost[j] = problem.objective[j];
     constexpr double kBigM = 1e12;
@@ -254,11 +285,13 @@ LpSolution solve_lp(const LpProblem& problem, std::size_t max_iterations) {
       phase2_cost[first_artificial + j] = kBigM;
     }
     t.set_cost(std::move(phase2_cost));
-    const LpStatus status = t.optimize(max_iterations);
-    if (status != LpStatus::kOptimal) return {status, 0, {}};
+    const LpStatus status = t.optimize(max_iterations, solution, observer);
+    if (status != LpStatus::kOptimal) {
+      solution.status = status;
+      return solution;
+    }
   }
 
-  LpSolution solution;
   solution.status = LpStatus::kOptimal;
   solution.x = t.primal(n);
   solution.objective_value = 0;

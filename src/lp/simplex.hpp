@@ -14,6 +14,7 @@
 // Dantzig pricing with Bland's rule engaged after a degeneracy streak
 // guarantees termination.
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -21,7 +22,12 @@ namespace sor {
 
 enum class ConstraintSense { kLe, kEq, kGe };
 
-enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+/// kIterLimit: the pivot cap was reached before optimality — distinct
+/// from kTruncated, where an installed telemetry::ProgressReporter's
+/// deadline or cancel hook stopped the solve early. Both leave the
+/// returned point meaningless (x is empty); callers that budget solves
+/// (EpochController) treat kTruncated as "fall back, don't fail".
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterLimit, kTruncated };
 
 struct LpConstraint {
   std::vector<double> coefficients;  // dense, one per variable
@@ -39,10 +45,24 @@ struct LpSolution {
   LpStatus status = LpStatus::kIterLimit;
   double objective_value = 0;
   std::vector<double> x;
+  /// Pivots performed across both phases (also on non-optimal exits).
+  std::uint64_t iterations = 0;
+  /// Pivots whose leaving basic variable sat at ~0 (no objective
+  /// progress); a high share signals cycling-prone geometry.
+  std::uint64_t degenerate_pivots = 0;
 };
 
 /// Solves the LP exactly (up to numerical tolerance ~1e-9 on pivots).
 /// Intended for instances up to a few thousand nonzeros.
+///
+/// `max_iterations` bounds the pivots of EACH phase. The default 0 is a
+/// sentinel meaning "automatic": the bound becomes 50*(n+m+10)*(m+1) for
+/// n variables and m constraints — generous for anything the exact
+/// backend is meant for, while still guaranteeing termination on cycling
+/// inputs. Hitting the cap returns status kIterLimit (never an infinite
+/// loop); an installed telemetry deadline/cancel hook instead returns
+/// kTruncated. Emits a per-phase "simplex" convergence trace when
+/// telemetry is enabled.
 LpSolution solve_lp(const LpProblem& problem, std::size_t max_iterations = 0);
 
 }  // namespace sor

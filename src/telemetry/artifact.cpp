@@ -12,6 +12,51 @@
 
 namespace sor::telemetry {
 
+std::string format_seconds(double seconds) {
+  const char* sign = seconds < 0 ? "-" : "";
+  double v = std::abs(seconds);
+  const char* unit = "s";
+  if (v >= 1 || v == 0) {
+    // keep seconds
+  } else if (v >= 1e-3) {
+    v *= 1e3;
+    unit = "ms";
+  } else if (v >= 1e-6) {
+    v *= 1e6;
+    unit = "µs";
+  } else {
+    v *= 1e9;
+    unit = "ns";
+  }
+  std::ostringstream os;
+  os << sign << std::setprecision(3) << v << " " << unit;
+  return os.str();
+}
+
+std::string format_quantity(double value) {
+  const char* sign = value < 0 ? "-" : "";
+  double v = std::abs(value);
+  const char* suffix = "";
+  if (v >= 1e9) {
+    v /= 1e9;
+    suffix = "G";
+  } else if (v >= 1e6) {
+    v /= 1e6;
+    suffix = "M";
+  } else if (v >= 1e3) {
+    v /= 1e3;
+    suffix = "k";
+  } else if (v == std::floor(v)) {
+    // Small integer counts print exactly.
+    std::ostringstream os;
+    os << sign << static_cast<long long>(v);
+    return os.str();
+  }
+  std::ostringstream os;
+  os << sign << std::setprecision(3) << v << suffix;
+  return os.str();
+}
+
 namespace {
 
 std::string number_text(const JsonValue& v) {
@@ -47,6 +92,22 @@ std::map<std::string, double> artifact_spans(const JsonValue& doc) {
   std::map<std::string, double> out;
   if (doc.has("spans") && doc.at("spans").is_array()) {
     flatten_spans(doc.at("spans"), "", out);
+  }
+  return out;
+}
+
+/// Per-subsystem wall time in seconds from the cost/<subsystem>/ns
+/// registry counters.
+std::map<std::string, double> cost_seconds(const JsonValue& doc) {
+  std::map<std::string, double> out;
+  if (!doc.has("telemetry")) return out;
+  const JsonValue& telemetry = doc.at("telemetry");
+  if (!telemetry.is_object() || !telemetry.has("counters")) return out;
+  for (const auto& [name, value] : telemetry.at("counters").members()) {
+    if (name.rfind("cost/", 0) != 0 || !value.is_number()) continue;
+    const std::size_t tail = name.rfind("/ns");
+    if (tail == std::string::npos || tail + 3 != name.size()) continue;
+    out[name.substr(5, tail - 5)] = value.as_number() / 1e9;
   }
   return out;
 }
@@ -105,6 +166,17 @@ void collect(const JsonValue& before, const JsonValue& after,
   const double util_b = top_utilization(after);
   if (util_a >= 0 && util_b >= 0) {
     out.push_back({"attribution:max_utilization", util_a, util_b, false});
+  }
+
+  // Per-subsystem solver cost — unlike spans, these survive layout
+  // refactors, so they are the durable solver-time regression signal.
+  const auto cost_a = cost_seconds(before);
+  const auto cost_b = cost_seconds(after);
+  for (const auto& [subsystem, seconds] : cost_a) {
+    const auto it = cost_b.find(subsystem);
+    if (it != cost_b.end()) {
+      out.push_back({"cost:" + subsystem, seconds, it->second, true});
+    }
   }
 
   // Spans, flattened, plus total wall clock.
@@ -179,6 +251,7 @@ ArtifactDiffResult diff_artifacts(const JsonValue& before,
     entry.metric = c.metric;
     entry.before = c.before;
     entry.after = c.after;
+    entry.time_like = c.time_like;
     if (c.before > 0) {
       entry.relative = (c.after - c.before) / c.before;
     } else if (c.after > 0) {
@@ -212,9 +285,12 @@ namespace {
 void render_entries(const std::vector<ArtifactDiffEntry>& entries,
                     const char* tag, std::ostream& os) {
   for (const ArtifactDiffEntry& entry : entries) {
+    const auto fmt = [&](double v) {
+      return entry.time_like ? format_seconds(v) : format_quantity(v);
+    };
     os << "  " << std::left << std::setw(44) << entry.metric << std::right
-       << std::setw(12) << entry.before << " -> " << std::setw(12)
-       << entry.after;
+       << std::setw(12) << fmt(entry.before) << " -> " << std::setw(12)
+       << fmt(entry.after);
     if (std::isfinite(entry.relative)) {
       os << "  (" << std::showpos << std::fixed << std::setprecision(1)
          << entry.relative * 100 << "%" << std::noshowpos
@@ -281,10 +357,8 @@ void render_top_spans(const JsonValue& doc, std::ostream& os) {
   const std::size_t top = std::min<std::size_t>(sorted.size(), 10);
   for (std::size_t i = 0; i < top; ++i) {
     os << "  " << std::left << std::setw(52) << sorted[i].first << std::right
-       << std::setw(10) << std::fixed << std::setprecision(3)
-       << sorted[i].second * 1e3 << " ms\n";
+       << std::setw(10) << format_seconds(sorted[i].second) << "\n";
   }
-  os << std::defaultfloat << std::setprecision(6);
 }
 
 void render_attribution(const JsonValue& doc, std::ostream& os) {
@@ -367,8 +441,9 @@ void render_artifact_report(const JsonValue& doc, std::ostream& os) {
   if (doc.has("schema_version")) {
     os << "schema: v" << number_text(doc.at("schema_version")) << "\n";
   }
-  if (doc.has("wall_seconds")) {
-    os << "wall: " << number_text(doc.at("wall_seconds")) << " s\n";
+  if (doc.has("wall_seconds") && doc.at("wall_seconds").is_number()) {
+    os << "wall: " << format_seconds(doc.at("wall_seconds").as_number())
+       << "\n";
   }
   os << "\n";
   if (doc.has("table")) {
@@ -378,6 +453,119 @@ void render_artifact_report(const JsonValue& doc, std::ostream& os) {
   render_top_spans(doc, os);
   render_attribution(doc, os);
   render_events(doc, os);
+}
+
+namespace {
+
+void render_cost_accounting(const JsonValue& doc, std::ostream& os) {
+  if (!doc.has("telemetry") || !doc.at("telemetry").is_object() ||
+      !doc.at("telemetry").has("counters")) {
+    return;
+  }
+  const JsonValue& counters = doc.at("telemetry").at("counters");
+  // Gather cost/<subsystem>/{ns,calls,bytes} triples.
+  struct Cost {
+    double seconds = 0;
+    double calls = 0;
+    double bytes = 0;
+  };
+  std::map<std::string, Cost> by_subsystem;
+  for (const auto& [name, value] : counters.members()) {
+    if (name.rfind("cost/", 0) != 0 || !value.is_number()) continue;
+    const std::size_t slash = name.rfind('/');
+    if (slash == std::string::npos || slash <= 5) continue;
+    const std::string subsystem = name.substr(5, slash - 5);
+    const std::string field = name.substr(slash + 1);
+    Cost& cost = by_subsystem[subsystem];
+    if (field == "ns") {
+      cost.seconds = value.as_number() / 1e9;
+    } else if (field == "calls") {
+      cost.calls = value.as_number();
+    } else if (field == "bytes") {
+      cost.bytes = value.as_number();
+    }
+  }
+  if (by_subsystem.empty()) return;
+  // Most expensive first.
+  std::vector<std::pair<std::string, Cost>> sorted(by_subsystem.begin(),
+                                                   by_subsystem.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.second.seconds > b.second.seconds;
+  });
+  os << "per-subsystem cost:\n";
+  os << "  " << std::left << std::setw(16) << "subsystem" << std::right
+     << std::setw(10) << "calls" << std::setw(12) << "total" << std::setw(12)
+     << "per-call" << std::setw(10) << "bytes" << "\n";
+  for (const auto& [subsystem, cost] : sorted) {
+    os << "  " << std::left << std::setw(16) << subsystem << std::right
+       << std::setw(10) << format_quantity(cost.calls) << std::setw(12)
+       << format_seconds(cost.seconds) << std::setw(12)
+       << (cost.calls > 0 ? format_seconds(cost.seconds / cost.calls) : "-")
+       << std::setw(10) << format_quantity(cost.bytes) << "\n";
+  }
+}
+
+void render_convergence(const JsonValue& doc, std::ostream& os) {
+  if (!doc.has("convergence") || !doc.at("convergence").is_object()) {
+    os << "no convergence block (schema < v3 or telemetry disabled)\n";
+    return;
+  }
+  const JsonValue& block = doc.at("convergence");
+  if (!block.has("traces")) return;
+  const JsonValue& traces = block.at("traces");
+  os << "convergence traces: " << traces.size() << " kept";
+  if (block.has("dropped")) {
+    os << ", " << number_text(block.at("dropped")) << " dropped";
+  }
+  os << "\n";
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const JsonValue& trace = traces.at(i);
+    std::string name = trace.at("solver").as_string();
+    if (trace.has("label") && !trace.at("label").as_string().empty()) {
+      name += "/" + trace.at("label").as_string();
+    }
+    os << "  " << std::left << std::setw(20) << name << std::right;
+    const JsonValue& points = trace.at("points");
+    os << format_quantity(trace.at("iterations").as_number()) << " iter, "
+       << points.size() << " pts";
+    if (trace.has("truncated") && trace.at("truncated").is_bool() &&
+        trace.at("truncated").as_bool()) {
+      os << " [TRUNCATED]";
+    }
+    if (points.size() > 0) {
+      const JsonValue& last = points.at(points.size() - 1);
+      os << "  obj " << format_quantity(last.at("objective").as_number());
+      const double bound = last.at("bound").as_number();
+      if (bound > 0) {
+        os << "  bound " << format_quantity(bound) << "  gap "
+           << std::setprecision(3) << last.at("gap").as_number() * 100 << "%";
+      }
+    }
+    if (trace.has("counters")) {
+      for (const auto& [key, value] : trace.at("counters").members()) {
+        os << "  " << key << "=" << format_quantity(value.as_number());
+      }
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace
+
+void render_artifact_profile(const JsonValue& doc, std::ostream& os) {
+  SOR_CHECK_MSG(doc.is_object() && doc.has("experiment"),
+                "document is not a BENCH artifact (no \"experiment\" key)");
+  os << "experiment: " << doc.at("experiment").as_string();
+  if (doc.has("title")) os << "  —  " << doc.at("title").as_string();
+  os << "\n";
+  if (doc.has("wall_seconds") && doc.at("wall_seconds").is_number()) {
+    os << "wall: " << format_seconds(doc.at("wall_seconds").as_number())
+       << "\n";
+  }
+  os << "\n";
+  render_cost_accounting(doc, os);
+  render_convergence(doc, os);
+  render_top_spans(doc, os);
 }
 
 }  // namespace sor::telemetry

@@ -15,6 +15,16 @@
 
 namespace sor::telemetry {
 
+/// Human-readable duration: "2.41 s", "13.2 ms", "870 µs", "95 ns".
+/// Chooses the unit so the mantissa lands in [1, 1000) and keeps three
+/// significant digits. Shared by `sor_cli report`, `diff`, and `profile`
+/// so durations read the same everywhere.
+std::string format_seconds(double seconds);
+
+/// Human-readable count/size: "312", "4.50k", "1.23M", "9.87G". Values
+/// below 1000 print plainly (integers without a decimal point).
+std::string format_quantity(double value);
+
 /// Renders a multi-section summary: header (experiment/claim/provenance),
 /// the reproduction table, the slowest spans, the bottleneck links (when
 /// the artifact carries an "attribution" block), and flight-recorder
@@ -41,6 +51,9 @@ struct ArtifactDiffEntry {
   double after = 0;
   /// (after - before) / before; +inf when before == 0 and after > 0.
   double relative = 0;
+  /// Values are seconds (rendered with format_seconds; compared against
+  /// the span threshold + noise floor rather than the congestion one).
+  bool time_like = false;
 };
 
 struct ArtifactDiffResult {
@@ -62,6 +75,9 @@ struct ArtifactDiffResult {
 ///  * every span (flattened root/child path) present in both, plus
 ///    wall_seconds and the E16 modes' total_solve_ms (span threshold,
 ///    with the span_min_seconds noise floor);
+///  * every per-subsystem cost counter ("cost:<subsystem>", from the
+///    registry's cost/<subsystem>/ns counters, compared as seconds) —
+///    the solver-time regression signal (span threshold + noise floor);
 ///  * the max of each E16 per_epoch_congestion series (congestion
 ///    threshold).
 /// Metrics present in only one artifact are skipped — schema growth is
@@ -72,5 +88,14 @@ ArtifactDiffResult diff_artifacts(const JsonValue& before,
 
 /// One line per compared metric plus a verdict line.
 void render_artifact_diff(const ArtifactDiffResult& result, std::ostream& os);
+
+/// Renders the solver-introspection view of one artifact (`sor_cli
+/// profile`): per-subsystem cost accounting (wall time, calls, bytes from
+/// the cost/<subsystem>/* registry counters) and the schema-v3
+/// "convergence" block (one line per trace: iterations, retained points,
+/// final objective/bound/gap, truncation, per-solve counters). Tolerates
+/// artifacts without either block; throws CheckError on documents that
+/// are not artifact-shaped at all.
+void render_artifact_profile(const JsonValue& doc, std::ostream& os);
 
 }  // namespace sor::telemetry

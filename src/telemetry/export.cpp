@@ -73,6 +73,38 @@ JsonValue spans_to_json(const std::vector<SpanSnapshot>& spans) {
 
 JsonValue spans_to_json() { return spans_to_json(snapshot_spans()); }
 
+JsonValue convergence_to_json(const ConvergenceCollector& collector) {
+  JsonValue doc = JsonValue::object();
+  doc.set("capacity", static_cast<std::uint64_t>(collector.capacity()));
+  doc.set("dropped", collector.dropped());
+  JsonValue traces = JsonValue::array();
+  for (const ConvergenceTrace& trace : collector.snapshot()) {
+    JsonValue t = JsonValue::object();
+    t.set("solver", trace.solver);
+    t.set("label", trace.label);
+    t.set("iterations", trace.iterations);
+    t.set("max_points", static_cast<std::uint64_t>(trace.max_points));
+    t.set("truncated", trace.truncated);
+    JsonValue counters = JsonValue::object();
+    for (const auto& [key, value] : trace.counters) counters.set(key, value);
+    t.set("counters", std::move(counters));
+    JsonValue points = JsonValue::array();
+    for (const ConvergencePoint& point : trace.points) {
+      JsonValue p = JsonValue::object();
+      p.set("iteration", point.iteration);
+      p.set("t", point.seconds);
+      p.set("objective", point.objective);
+      p.set("bound", point.bound);
+      p.set("gap", point.gap);
+      points.push(std::move(p));
+    }
+    t.set("points", std::move(points));
+    traces.push(std::move(t));
+  }
+  doc.set("traces", std::move(traces));
+  return doc;
+}
+
 JsonValue recorder_to_json(const Recorder& recorder) {
   JsonValue doc = JsonValue::object();
   doc.set("capacity", static_cast<std::uint64_t>(recorder.capacity()));
@@ -93,7 +125,8 @@ JsonValue recorder_to_json(const Recorder& recorder) {
 }
 
 JsonValue chrome_trace_json(const std::vector<TimelineEvent>& timeline,
-                            const std::vector<RecorderEvent>& events) {
+                            const std::vector<RecorderEvent>& events,
+                            const std::vector<ConvergenceTrace>& traces) {
   // Build (ts_us, json) pairs so the merged stream can be sorted once;
   // chrome://tracing tolerates unsorted input but the schema checker (and
   // humans reading the raw file) get monotone timestamps.
@@ -124,6 +157,28 @@ JsonValue chrome_trace_json(const std::vector<TimelineEvent>& timeline,
     e.set("args", std::move(args));
     entries.emplace_back(event.seconds * 1e6, std::move(e));
   }
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const ConvergenceTrace& trace = traces[i];
+    // One counter track per trace; the index suffix keeps repeated solves
+    // of the same solver/label on separate tracks.
+    std::string track = "convergence/" + trace.solver;
+    if (!trace.label.empty()) track += "/" + trace.label;
+    track += "#" + std::to_string(i);
+    for (const ConvergencePoint& point : trace.points) {
+      JsonValue e = JsonValue::object();
+      e.set("name", track);
+      e.set("cat", "convergence");
+      e.set("ph", "C");
+      e.set("ts", point.seconds * 1e6);
+      e.set("pid", 1);
+      e.set("tid", 0);
+      JsonValue args = JsonValue::object();
+      args.set("objective", point.objective);
+      args.set("bound", point.bound);
+      e.set("args", std::move(args));
+      entries.emplace_back(point.seconds * 1e6, std::move(e));
+    }
+  }
   std::stable_sort(entries.begin(), entries.end(),
                    [](const auto& a, const auto& b) { return a.first < b.first; });
 
@@ -136,7 +191,8 @@ JsonValue chrome_trace_json(const std::vector<TimelineEvent>& timeline,
 }
 
 JsonValue chrome_trace_json() {
-  return chrome_trace_json(snapshot_timeline(), Recorder::global().snapshot());
+  return chrome_trace_json(snapshot_timeline(), Recorder::global().snapshot(),
+                           ConvergenceCollector::global().snapshot());
 }
 
 void write_registry_csv(std::ostream& os, const Registry& registry) {

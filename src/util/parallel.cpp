@@ -4,6 +4,7 @@
 #include <mutex>
 #include <vector>
 
+#include "telemetry/observer.hpp"
 #include "telemetry/span.hpp"
 
 namespace sor {
@@ -23,6 +24,24 @@ class SpanContextGuard {
 
  private:
   telemetry::detail::SpanNode* saved_;
+};
+
+/// Same propagation for the progress-reporter state, so a deadline
+/// installed around a parallel solve is honored by solves running on pool
+/// workers too (shared state: the deadline base and cancel predicate are
+/// read-only under the scope).
+class ReporterContextGuard {
+ public:
+  explicit ReporterContextGuard(telemetry::detail::ReporterState* parent)
+      : saved_(telemetry::detail::current_reporter_state()) {
+    telemetry::detail::set_current_reporter_state(parent);
+  }
+  ~ReporterContextGuard() {
+    telemetry::detail::set_current_reporter_state(saved_);
+  }
+
+ private:
+  telemetry::detail::ReporterState* saved_;
 };
 
 }  // namespace
@@ -47,9 +66,12 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
   std::mutex err_mu;
   std::exception_ptr first_error;
   telemetry::detail::SpanNode* span_parent = telemetry::detail::current_span();
+  telemetry::detail::ReporterState* reporter_parent =
+      telemetry::detail::current_reporter_state();
 
   auto run_chunk = [&](std::size_t c) {
     const SpanContextGuard span_guard(span_parent);
+    const ReporterContextGuard reporter_guard(reporter_parent);
     const std::size_t begin = c * base + std::min(c, extra);
     const std::size_t end = begin + base + (c < extra ? 1 : 0);
     try {

@@ -205,6 +205,129 @@ TEST(ArtifactRender, ReportRendersHeaderTableAndSpans) {
   EXPECT_NE(text.find("congestion"), std::string::npos);  // table cell
 }
 
+TEST(ArtifactFormat, SecondsPicksTheUnitForThreeSignificantDigits) {
+  EXPECT_EQ(telemetry::format_seconds(2.41), "2.41 s");
+  EXPECT_EQ(telemetry::format_seconds(0.0132), "13.2 ms");
+  EXPECT_EQ(telemetry::format_seconds(870e-6), "870 µs");
+  EXPECT_EQ(telemetry::format_seconds(95e-9), "95 ns");
+  EXPECT_EQ(telemetry::format_seconds(0), "0 s");
+  EXPECT_EQ(telemetry::format_seconds(-0.0025), "-2.5 ms");
+}
+
+TEST(ArtifactFormat, QuantityUsesMetricSuffixes) {
+  EXPECT_EQ(telemetry::format_quantity(312), "312");
+  EXPECT_EQ(telemetry::format_quantity(4500), "4.5k");
+  EXPECT_EQ(telemetry::format_quantity(1.23e6), "1.23M");
+  EXPECT_EQ(telemetry::format_quantity(9.87e9), "9.87G");
+  EXPECT_EQ(telemetry::format_quantity(0), "0");
+}
+
+/// Adds cost/<subsystem>/{ns,calls} counters to an artifact.
+void set_cost(JsonValue& doc, const std::string& subsystem, double ns,
+              double calls) {
+  JsonValue counters = JsonValue::object();
+  counters.set("cost/" + subsystem + "/ns", ns);
+  counters.set("cost/" + subsystem + "/calls", calls);
+  JsonValue telemetry_block = JsonValue::object();
+  telemetry_block.set("counters", std::move(counters));
+  telemetry_block.set("gauges", JsonValue::object());
+  telemetry_block.set("histograms", JsonValue::object());
+  doc.set("telemetry", std::move(telemetry_block));
+}
+
+TEST(ArtifactDiff, FlagsSubsystemCostRegressionAsTimeLike) {
+  JsonValue before = make_artifact(1.0, 2.0, 1.0);
+  JsonValue after = make_artifact(1.0, 2.0, 1.0);
+  set_cost(before, "mwu", 1.0e9, 10);  // 1 s of solver time
+  set_cost(after, "mwu", 2.5e9, 10);   // 2.5 s — past the 50% slack
+  const ArtifactDiffResult result = telemetry::diff_artifacts(before, after);
+  ASSERT_TRUE(result.comparable());
+  ASSERT_TRUE(result.regressed());
+  bool found = false;
+  for (const auto& entry : result.regressions) {
+    if (entry.metric == "cost:mwu") {
+      found = true;
+      EXPECT_TRUE(entry.time_like);
+      EXPECT_NEAR(entry.before, 1.0, 1e-9);
+      EXPECT_NEAR(entry.after, 2.5, 1e-9);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ArtifactDiff, SubNoiseFloorCostIsIgnored) {
+  JsonValue before = make_artifact(1.0, 2.0, 1.0);
+  JsonValue after = make_artifact(1.0, 2.0, 1.0);
+  set_cost(before, "mwu", 1.0e6, 10);  // 1 ms
+  set_cost(after, "mwu", 10.0e6, 10);  // 10× but far below span_min_seconds
+  const ArtifactDiffResult result = telemetry::diff_artifacts(before, after);
+  ASSERT_TRUE(result.comparable());
+  EXPECT_FALSE(result.regressed());
+}
+
+/// Artifact with a schema-v3 convergence block of one trace.
+JsonValue make_profile_artifact() {
+  JsonValue doc = make_artifact(1.0, 2.0, 1.0);
+  doc.set("schema_version", 3);
+  set_cost(doc, "simplex", 3.2e9, 4);
+
+  JsonValue point = JsonValue::object();
+  point.set("iteration", 5);
+  point.set("t", 0.25);
+  point.set("objective", 1.5);
+  point.set("bound", 1.2);
+  point.set("gap", 0.25);
+  JsonValue points = JsonValue::array();
+  points.push(std::move(point));
+  JsonValue counters = JsonValue::object();
+  counters.set("degenerate_pivots", 2);
+  JsonValue trace = JsonValue::object();
+  trace.set("solver", "simplex");
+  trace.set("label", "phase2");
+  trace.set("iterations", 40);
+  trace.set("max_points", 1024);
+  trace.set("truncated", true);
+  trace.set("counters", std::move(counters));
+  trace.set("points", std::move(points));
+  JsonValue traces = JsonValue::array();
+  traces.push(std::move(trace));
+  JsonValue convergence = JsonValue::object();
+  convergence.set("capacity", 64);
+  convergence.set("dropped", 0);
+  convergence.set("traces", std::move(traces));
+  doc.set("convergence", std::move(convergence));
+  return doc;
+}
+
+TEST(ArtifactRender, ProfileRendersCostAndConvergence) {
+  const JsonValue doc = make_profile_artifact();
+  std::ostringstream os;
+  telemetry::render_artifact_profile(doc, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("experiment: T1"), std::string::npos);
+  EXPECT_NE(text.find("per-subsystem cost"), std::string::npos);
+  EXPECT_NE(text.find("simplex"), std::string::npos);
+  EXPECT_NE(text.find("3.2 s"), std::string::npos);  // cost/simplex/ns
+  EXPECT_NE(text.find("convergence traces: 1 kept"), std::string::npos);
+  EXPECT_NE(text.find("simplex/phase2"), std::string::npos);
+  EXPECT_NE(text.find("[TRUNCATED]"), std::string::npos);
+  EXPECT_NE(text.find("degenerate_pivots=2"), std::string::npos);
+}
+
+TEST(ArtifactRender, ProfileToleratesArtifactsWithoutV3Blocks) {
+  const JsonValue doc = make_artifact(1.0, 2.0, 1.0);  // v2-shaped
+  std::ostringstream os;
+  telemetry::render_artifact_profile(doc, os);
+  EXPECT_NE(os.str().find("no convergence block"), std::string::npos);
+}
+
+TEST(ArtifactRender, ProfileRejectsNonArtifacts) {
+  std::ostringstream os;
+  EXPECT_THROW(
+      telemetry::render_artifact_profile(JsonValue::object(), os),
+      CheckError);
+}
+
 TEST(ArtifactRender, ReportRejectsNonArtifacts) {
   std::ostringstream os;
   EXPECT_THROW(

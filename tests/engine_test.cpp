@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <queue>
 #include <sstream>
 
@@ -13,6 +14,10 @@
 #include "engine/repair.hpp"
 #include "engine/replay.hpp"
 #include "graph/generators.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/observer.hpp"
+#include "telemetry/recorder.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
 
 namespace sor::engine {
@@ -317,6 +322,80 @@ TEST(Controller, ExactBackendRunsTheLoop) {
   ASSERT_EQ(out.result.epochs.size(), 4u);
   for (const EpochReport& r : out.result.epochs) {
     EXPECT_GT(r.congestion, 0.0);
+  }
+}
+
+TEST(Controller, CancelledSolvesTruncateButEveryEpochCompletes) {
+  // A cancel hook that always fires is the deterministic stand-in for an
+  // exhausted wall-clock budget: each cold MWU solve stops at its first
+  // phase boundary with a feasible split, and the loop must keep going.
+  const bool was_enabled = telemetry::enabled();
+  telemetry::set_enabled(true);
+  telemetry::Recorder::global().clear();
+  auto& truncation_counter =
+      telemetry::Registry::global().counter("engine/solves_truncated");
+  truncation_counter.reset();
+
+  telemetry::ProgressReporter reporter;
+  reporter.cancel = [] { return true; };
+  std::uint64_t truncated_epochs = 0;
+  {
+    telemetry::ProgressScope scope(reporter);
+    const EngineRunOutput out = run_from_config(small_config());
+    ASSERT_EQ(out.result.epochs.size(), 8u);
+    for (const EpochReport& r : out.result.epochs) {
+      EXPECT_TRUE(std::isfinite(r.congestion)) << "epoch " << r.epoch;
+      EXPECT_GT(r.congestion, 0.0) << "epoch " << r.epoch;
+      if (r.truncated) ++truncated_epochs;
+    }
+  }
+  EXPECT_GE(truncated_epochs, 1u);
+  EXPECT_EQ(truncation_counter.value(), truncated_epochs);
+
+  bool saw_event = false;
+  for (const telemetry::RecorderEvent& e :
+       telemetry::Recorder::global().snapshot()) {
+    if (e.category == "engine/solve_truncated") saw_event = true;
+  }
+  EXPECT_TRUE(saw_event);
+  telemetry::set_enabled(was_enabled);
+}
+
+TEST(Controller, SolveDeadlineBudgetKeepsTheLoopAliveAndReportsHonestly) {
+  // An aggressive 1 ms budget may or may not truncate a given solve
+  // (wall-clock), so assert the invariants that must hold either way:
+  // the full epoch count completes, every epoch routes a feasible split,
+  // and the truncation counter agrees with the per-epoch reports.
+  auto& truncation_counter =
+      telemetry::Registry::global().counter("engine/solves_truncated");
+  truncation_counter.reset();
+  EngineRunConfig config = small_config();
+  config.engine.solve_deadline_ms = 1;
+  config.engine.warm_start = false;  // every epoch re-solves under budget
+  const EngineRunOutput out = run_from_config(config);
+  ASSERT_EQ(out.result.epochs.size(), config.trace.num_epochs);
+  std::uint64_t truncated_epochs = 0;
+  for (const EpochReport& r : out.result.epochs) {
+    EXPECT_TRUE(std::isfinite(r.congestion)) << "epoch " << r.epoch;
+    EXPECT_GT(r.congestion, 0.0) << "epoch " << r.epoch;
+    if (r.truncated) ++truncated_epochs;
+  }
+  if (telemetry::enabled()) {
+    EXPECT_EQ(truncation_counter.value(), truncated_epochs);
+  }
+}
+
+TEST(Replay, DigestRecordsTruncationPerEpoch) {
+  // The digest row must carry the truncated flag so replays of budgeted
+  // runs are comparable (replay re-executes with the same code; with no
+  // budget installed, every row must say false).
+  const EngineRunOutput out = run_from_config(small_config());
+  const telemetry::JsonValue digest = digest_json(out.record, out.result);
+  const telemetry::JsonValue& epochs = digest.at("per_epoch");
+  ASSERT_GT(epochs.size(), 0u);
+  for (std::size_t i = 0; i < epochs.size(); ++i) {
+    ASSERT_TRUE(epochs.at(i).has("truncated"));
+    EXPECT_FALSE(epochs.at(i).at("truncated").as_bool());
   }
 }
 

@@ -90,6 +90,37 @@ TEST(Simplex, DegenerateInstanceTerminates) {
   const LpSolution s = solve_lp(lp);
   ASSERT_EQ(s.status, LpStatus::kOptimal);
   EXPECT_NEAR(s.objective_value, -0.05, 1e-7);  // Beale's example optimum
+  // Beale's example pivots through degenerate bases; the introspection
+  // counters must see them, and must be bounded by the total pivot count.
+  EXPECT_GT(s.iterations, 0u);
+  EXPECT_GT(s.degenerate_pivots, 0u);
+  EXPECT_LE(s.degenerate_pivots, s.iterations);
+}
+
+TEST(Simplex, PivotCapReturnsIterLimitNotAnInfiniteLoop) {
+  // A 1-pivot budget cannot even finish phase 1 of a >= constraint; the
+  // solver must report the cap distinctly (kIterLimit, never kTruncated —
+  // that status is reserved for deadline/cancel hooks) with no solution.
+  LpProblem lp;
+  lp.objective = {2, 3};
+  lp.constraints.push_back({{1, 1}, ConstraintSense::kGe, 4});
+  lp.constraints.push_back({{1, -1}, ConstraintSense::kLe, 2});
+  const LpSolution s = solve_lp(lp, 1);
+  EXPECT_EQ(s.status, LpStatus::kIterLimit);
+  EXPECT_TRUE(s.x.empty());
+  EXPECT_LE(s.iterations, 2u);  // at most one pivot per phase attempted
+}
+
+TEST(Simplex, ZeroMaxIterationsMeansAutoBoundNotZeroPivots) {
+  // max_iterations = 0 is the documented "pick a safe cap" sentinel; a
+  // plain LP must still solve to optimality under it.
+  LpProblem lp;
+  lp.objective = {-1, -1};
+  lp.constraints.push_back({{1, 2}, ConstraintSense::kLe, 4});
+  lp.constraints.push_back({{3, 1}, ConstraintSense::kLe, 6});
+  const LpSolution s = solve_lp(lp, 0);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_GT(s.iterations, 0u);
 }
 
 TEST(Simplex, RedundantEqualities) {
