@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "cache/cache.hpp"
 #include "core/evaluate.hpp"
 #include "core/router.hpp"
 #include "core/sampler.hpp"
@@ -41,8 +42,10 @@ namespace sor::bench {
 /// block, and the optional "attribution" block. v3: added the
 /// "convergence" block (per-solve iteration traces, see
 /// telemetry/observer.hpp) and the cost/<subsystem>/* accounting counters
-/// inside "telemetry".
-inline constexpr int kArtifactSchemaVersion = 3;
+/// inside "telemetry". v4: added the "cache" block (artifact-cache
+/// hit/miss/eviction counters plus the enabled flag, see src/cache/) —
+/// the warm-vs-cold fixture chain asserts on it.
+inline constexpr int kArtifactSchemaVersion = 4;
 
 namespace detail {
 // Captured at static initialization — close enough to process start for
@@ -143,6 +146,21 @@ inline telemetry::JsonValue artifact_json(const std::string& id,
   doc.set("spans", telemetry::spans_to_json());
   doc.set("events", telemetry::recorder_to_json());
   doc.set("convergence", telemetry::convergence_to_json());
+
+  // v4: routing-artifact cache counters. Read from the cache's own stats
+  // (not the telemetry registry) so the block survives SOR_TELEMETRY=off.
+  const cache::CacheStats cache_stats = cache::ArtifactCache::global().stats();
+  JsonValue cache_block = JsonValue::object();
+  cache_block.set("enabled", cache::ArtifactCache::enabled());
+  cache_block.set("hits", cache_stats.hits);
+  cache_block.set("misses", cache_stats.misses);
+  cache_block.set("disk_hits", cache_stats.disk_hits);
+  cache_block.set("puts", cache_stats.puts);
+  cache_block.set("evictions", cache_stats.evictions);
+  cache_block.set("corrupt", cache_stats.corrupt);
+  cache_block.set("bytes", cache_stats.bytes);
+  cache_block.set("entries", cache_stats.entries);
+  doc.set("cache", std::move(cache_block));
   return doc;
 }
 

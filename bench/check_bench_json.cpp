@@ -4,11 +4,21 @@
 //
 // Usage: check_bench_json <path/to/BENCH_E1.json>
 //        check_bench_json --chrome-trace <path/to/trace.json>
+//        check_bench_json --require-cache-hits <path/to/BENCH_E1.json>
+//        check_bench_json --compare-tables <a.json> <b.json>
 //
 // The --chrome-trace mode validates a Chrome trace-event document (as
 // written by `sor_cli --trace-out`): a traceEvents array whose entries
 // carry non-negative, non-decreasing "ts" values and, for "X" events,
 // non-negative durations.
+//
+// --require-cache-hits runs the full schema check and additionally fails
+// unless the v4 "cache" block reports at least one artifact-cache hit
+// (memory or disk) — the warm half of the cold/warm fixture chain.
+//
+// --compare-tables asserts the "table" blocks of two artifacts are
+// byte-identical (cached and uncached runs must produce bit-identical
+// routing results; wall-clock blocks are expected to differ).
 
 #include <cmath>
 #include <cstdio>
@@ -272,6 +282,51 @@ std::set<std::string> check_convergence(const JsonValue& doc) {
   return solvers;
 }
 
+/// The schema-v4 artifact-cache block: counters from
+/// cache::ArtifactCache::global().stats() plus the enabled flag. All
+/// counters are non-negative; a disabled cache must report zero traffic
+/// (the kill switch bypasses both tiers entirely).
+void check_cache(const JsonValue& doc) {
+  check_member(doc, "cache", JsonValue::Kind::kObject, "object");
+  const JsonValue& block = doc.at("cache");
+  check_member(block, "enabled", JsonValue::Kind::kBool, "bool");
+  for (const char* key : {"hits", "misses", "disk_hits", "puts", "evictions",
+                          "corrupt", "bytes", "entries"}) {
+    check_member(block, key, JsonValue::Kind::kNumber, "number");
+    require(block.at(key).as_number() >= 0,
+            std::string("cache/") + key + " is negative");
+  }
+  if (!block.at("enabled").as_bool()) {
+    for (const char* key : {"hits", "misses", "disk_hits", "puts"}) {
+      require(block.at(key).as_number() == 0,
+              std::string("cache/") + key +
+                  " is nonzero with the cache disabled (kill switch leaked)");
+    }
+  }
+}
+
+/// --compare-tables: the "table" blocks of two artifacts must serialize
+/// identically. This is the bit-identical-reuse check of the cold/warm
+/// fixture chain: a warm (cache-served) bench run must reproduce the cold
+/// run's numbers exactly, not approximately.
+int compare_tables(const JsonValue& a, const JsonValue& b, const char* path_a,
+                   const char* path_b) {
+  require(a.is_object() && a.has("table"), std::string(path_a) + ": no table");
+  require(b.is_object() && b.has("table"), std::string(path_b) + ": no table");
+  const std::string dump_a = a.at("table").dump();
+  const std::string dump_b = b.at("table").dump();
+  if (dump_a != dump_b) {
+    std::fprintf(stderr,
+                 "table mismatch between %s and %s:\n--- %s\n%s\n--- %s\n%s\n",
+                 path_a, path_b, path_a, dump_a.c_str(), path_b,
+                 dump_b.c_str());
+    return 1;
+  }
+  std::printf("tables identical (%zu rows)\n",
+              a.at("table").at("rows").size());
+  return 0;
+}
+
 /// --chrome-trace: trace-event JSON with sorted non-negative timestamps
 /// and non-negative durations on complete ("X") events.
 int check_chrome_trace(const JsonValue& doc) {
@@ -308,31 +363,47 @@ int check_chrome_trace(const JsonValue& doc) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const bool chrome_trace = argc == 3 && std::string(argv[1]) == "--chrome-trace";
-  if (argc != 2 && !chrome_trace) {
-    std::fprintf(stderr,
-                 "usage: %s <BENCH_<id>.json>\n"
-                 "       %s --chrome-trace <trace.json>\n",
-                 argv[0], argv[0]);
-    return 2;
-  }
-  const char* path = chrome_trace ? argv[2] : argv[1];
+namespace {
+
+JsonValue load_json_or_exit(const char* path) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "cannot open %s\n", path);
-    return 1;
+    std::exit(1);
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-
-  JsonValue doc;
   try {
-    doc = JsonValue::parse(buffer.str());
+    return JsonValue::parse(buffer.str());
   } catch (const sor::CheckError& e) {
-    std::fprintf(stderr, "parse error: %s\n", e.what());
-    return 1;
+    std::fprintf(stderr, "parse error in %s: %s\n", path, e.what());
+    std::exit(1);
   }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string mode = argc >= 2 ? argv[1] : "";
+  const bool chrome_trace = argc == 3 && mode == "--chrome-trace";
+  const bool require_cache_hits = argc == 3 && mode == "--require-cache-hits";
+  const bool compare_mode = argc == 4 && mode == "--compare-tables";
+  if (argc != 2 && !chrome_trace && !require_cache_hits && !compare_mode) {
+    std::fprintf(stderr,
+                 "usage: %s <BENCH_<id>.json>\n"
+                 "       %s --chrome-trace <trace.json>\n"
+                 "       %s --require-cache-hits <BENCH_<id>.json>\n"
+                 "       %s --compare-tables <a.json> <b.json>\n",
+                 argv[0], argv[0], argv[0], argv[0]);
+    return 2;
+  }
+  if (compare_mode) {
+    const JsonValue a = load_json_or_exit(argv[2]);
+    const JsonValue b = load_json_or_exit(argv[3]);
+    return compare_tables(a, b, argv[2], argv[3]);
+  }
+  const char* path = argc == 3 ? argv[2] : argv[1];
+  const JsonValue doc = load_json_or_exit(path);
 
   if (chrome_trace) return check_chrome_trace(doc);
 
@@ -340,6 +411,9 @@ int main(int argc, char** argv) {
   check_member(doc, "schema_version", JsonValue::Kind::kNumber, "number");
   require(doc.at("schema_version").as_number() >= 3,
           "schema_version < 3 (artifact written by an old bench build)");
+  const bool has_cache_block = doc.at("schema_version").as_number() >= 4;
+  require(has_cache_block || !require_cache_hits,
+          "--require-cache-hits needs a schema v4+ artifact");
   check_member(doc, "experiment", JsonValue::Kind::kString, "string");
   check_member(doc, "title", JsonValue::Kind::kString, "string");
   check_member(doc, "claim", JsonValue::Kind::kString, "string");
@@ -384,6 +458,17 @@ int main(int argc, char** argv) {
 
   check_events(doc);
   const std::set<std::string> solvers = check_convergence(doc);
+  if (has_cache_block) check_cache(doc);
+  if (require_cache_hits) {
+    const JsonValue& cache = doc.at("cache");
+    require(cache.at("enabled").as_bool(),
+            "--require-cache-hits: cache was disabled for this run");
+    const double total_hits =
+        cache.at("hits").as_number() + cache.at("disk_hits").as_number();
+    require(total_hits > 0,
+            "--require-cache-hits: artifact reports zero cache hits (warm "
+            "run rebuilt its artifacts from scratch)");
+  }
   if (doc.has("attribution")) check_attribution(doc);
   if (doc.at("experiment").as_string() == "E12") {
     // E12 exercises MCF (opt baselines), MWU (semi-oblivious routing), and
@@ -407,7 +492,7 @@ int main(int argc, char** argv) {
   }
 
   std::printf("%s: ok (%zu spans, %zu counters, %zu recorder events)\n",
-              argv[1], spans.size(),
+              path, spans.size(),
               doc.at("telemetry").at("counters").size(),
               doc.at("events").at("events").size());
   return 0;

@@ -64,6 +64,7 @@
 #include <sstream>
 #include <string>
 
+#include "cache/cache.hpp"
 #include "core/attribution.hpp"
 #include "core/evaluate.hpp"
 #include "core/router.hpp"
@@ -208,7 +209,8 @@ int diff_main(int argc, char** argv) {
   if (msg != nullptr) std::cerr << "error: " << msg << "\n";
   std::cerr << "usage: sor_cli --graph FILE [--demand FILE] [--k N] "
                "[--source racke|ksp|electrical|sp] [--seed N] [--integral] "
-               "[--dump-paths FILE] [--trace] [--trace-out FILE]\n"
+               "[--dump-paths FILE] [--trace] [--trace-out FILE] "
+               "[--cache-dir DIR]\n"
                "       sor_cli engine run|replay [options]\n"
                "       sor_cli report BENCH_x.json\n"
                "       sor_cli diff OLD.json NEW.json [options]\n"
@@ -242,6 +244,10 @@ Args parse(int argc, char** argv) {
       args.trace_out = value();
     } else if (flag == "--dump-paths") {
       args.dump_paths = value();
+    } else if (flag == "--cache-dir") {
+      // Persistent artifact cache: Räcke ensembles and sampled path
+      // systems round-trip through DIR across invocations.
+      sor::cache::ArtifactCache::global().set_directory(value());
     } else {
       usage(("unknown flag " + flag).c_str());
     }
@@ -273,7 +279,7 @@ std::unique_ptr<sor::ObliviousRouting> make_source(const std::string& name,
                "[--graph FILE] [--k N] [--source racke|ksp|sp] [--seed N] "
                "[--epochs N] [--predictor ewma|peak] [--backend mwu|exact] "
                "[--churn-budget N] [--cold] [--solve-deadline-ms N] "
-               "[--record FILE] [--digest FILE] [--trace]\n"
+               "[--record FILE] [--digest FILE] [--trace] [--cache-dir DIR]\n"
                "       sor_cli engine replay --record FILE [--digest FILE] "
                "[--trace]\n";
   std::exit(2);
@@ -379,6 +385,8 @@ int engine_main(int argc, char** argv) {
       trace_spans = true;
     } else if (flag == "--trace-out") {
       trace_out = value();
+    } else if (flag == "--cache-dir") {
+      sor::cache::ArtifactCache::global().set_directory(value());
     } else {
       engine_usage(("unknown flag " + flag).c_str());
     }

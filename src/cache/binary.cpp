@@ -1,0 +1,106 @@
+#include "cache/binary.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace sor::cache {
+
+namespace {
+
+void append_le(std::string& out, std::uint64_t v, std::size_t width) {
+  for (std::size_t i = 0; i < width; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+}  // namespace
+
+void BinaryWriter::u32(std::uint32_t v) { append_le(out_, v, 4); }
+void BinaryWriter::u64(std::uint64_t v) { append_le(out_, v, 8); }
+void BinaryWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void BinaryWriter::str(std::string_view s) {
+  u64(s.size());
+  out_.append(s.data(), s.size());
+}
+
+void BinaryWriter::u32_vec(const std::vector<std::uint32_t>& v) {
+  u64(v.size());
+  for (std::uint32_t x : v) u32(x);
+}
+
+void BinaryWriter::f64_vec(const std::vector<double>& v) {
+  u64(v.size());
+  for (double x : v) f64(x);
+}
+
+const unsigned char* BinaryReader::take(std::size_t n) {
+  SOR_CHECK_MSG(n <= data_.size() - pos_ && pos_ <= data_.size(),
+                "cache payload truncated (" << n << " bytes past offset "
+                                            << pos_ << ")");
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(data_.data()) + pos_;
+  pos_ += n;
+  return p;
+}
+
+std::uint32_t BinaryReader::u32() {
+  const unsigned char* p = take(4);
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t BinaryReader::u64() {
+  const unsigned char* p = take(8);
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+double BinaryReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string BinaryReader::str() {
+  const std::uint64_t n = u64();
+  SOR_CHECK_MSG(n <= data_.size() - pos_, "cache payload string overruns");
+  const unsigned char* p = take(static_cast<std::size_t>(n));
+  return std::string(reinterpret_cast<const char*>(p),
+                     static_cast<std::size_t>(n));
+}
+
+std::vector<std::uint32_t> BinaryReader::u32_vec() {
+  const std::uint64_t n = u64();
+  SOR_CHECK_MSG(n * 4 <= data_.size() - pos_, "cache payload vector overruns");
+  std::vector<std::uint32_t> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = u32();
+  return v;
+}
+
+std::vector<double> BinaryReader::f64_vec() {
+  const std::uint64_t n = u64();
+  SOR_CHECK_MSG(n * 8 <= data_.size() - pos_, "cache payload vector overruns");
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = f64();
+  return v;
+}
+
+void BinaryReader::expect_done() const {
+  SOR_CHECK_MSG(pos_ == data_.size(),
+                "cache payload has " << data_.size() - pos_
+                                     << " trailing bytes");
+}
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace sor::cache

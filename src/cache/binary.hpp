@@ -1,0 +1,68 @@
+#pragma once
+
+// Little binary (de)serialization layer for cached routing artifacts.
+//
+// Artifacts cross process boundaries through the on-disk cache tier, so
+// the encoding is explicit about width and byte order (little-endian,
+// fixed-width integers, doubles by bit pattern) rather than relying on
+// in-memory struct layout. Bit-exact double round-trips are a hard
+// requirement: cached and uncached runs must produce identical routing
+// output, so the payload must reproduce every float exactly.
+//
+// BinaryReader throws CheckError on any truncation or overrun; the cache
+// layer turns that into a quarantined entry rather than a crash.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace sor::cache {
+
+class BinaryWriter {
+ public:
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);
+  void str(std::string_view s);  // u64 length + bytes
+
+  void u32_vec(const std::vector<std::uint32_t>& v);
+  void f64_vec(const std::vector<double>& v);
+
+  const std::string& bytes() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  std::string str();
+
+  std::vector<std::uint32_t> u32_vec();
+  std::vector<double> f64_vec();
+
+  bool done() const { return pos_ == data_.size(); }
+  /// Throws CheckError unless the whole payload was consumed (catches
+  /// payloads written by a different schema that happen to parse).
+  void expect_done() const;
+
+ private:
+  const unsigned char* take(std::size_t n);
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+/// FNV-1a 64-bit over a byte string — the payload checksum of disk
+/// entries (not cryptographic; guards against truncation/bit rot).
+std::uint64_t fnv1a64(std::string_view bytes);
+
+}  // namespace sor::cache

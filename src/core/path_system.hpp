@@ -89,6 +89,13 @@ class PathActivation {
   /// Count of active candidates (base + extras) for the pair.
   std::size_t num_active(Vertex s, Vertex t) const;
 
+  /// Deterministic digest of the activation state: every base flag (in
+  /// sorted pair / candidate-index order) and every extra path with its
+  /// flag. Two masks over the same system have equal digests iff they
+  /// activate the same candidate sets — the epoch controller keys its
+  /// per-epoch candidate memo on this.
+  std::uint64_t digest() const;
+
  private:
   const PathSystem* system_ = nullptr;
   // Lazily materialized per-pair flags; absent entry = all active.

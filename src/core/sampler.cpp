@@ -6,8 +6,12 @@
 #include <mutex>
 #include <utility>
 
+#include "cache/binary.hpp"
+#include "cache/cache.hpp"
+#include "core/path_system_io.hpp"
 #include "demand/generators.hpp"
 #include "flow/maxflow.hpp"
+#include "graph/fingerprint.hpp"
 #include "telemetry/observer.hpp"
 #include "telemetry/span.hpp"
 #include "telemetry/telemetry.hpp"
@@ -15,10 +19,72 @@
 
 namespace sor {
 
+namespace {
+
+PathSystem sample_path_system_uncached(const ObliviousRouting& routing,
+                                       std::span<const VertexPair> pairs,
+                                       const SampleOptions& options,
+                                       std::uint64_t seed);
+
+std::uint64_t sample_key_params(const ObliviousRouting& routing,
+                                std::span<const VertexPair> pairs,
+                                const SampleOptions& options,
+                                std::uint64_t seed) {
+  std::uint64_t h = mix_hash(0x534d504cu /* "SMPL" */,
+                             cache::fnv1a64(routing.cache_identity()));
+  h = mix_hash(h, static_cast<std::uint64_t>(options.k));
+  h = mix_hash(h, static_cast<std::uint64_t>(options.lambda_cap));
+  // λ from a Gomory–Hu tree and λ from min_cut_at_most agree only up to
+  // floating-point noise, so "was a tree supplied" is part of the key.
+  h = mix_hash(h, static_cast<std::uint64_t>(options.gomory_hu != nullptr));
+  h = mix_hash(h, static_cast<std::uint64_t>(options.deduplicate));
+  h = mix_hash(h, seed);
+  h = mix_hash(h, digest_pairs(pairs));
+  return h;
+}
+
+}  // namespace
+
 PathSystem sample_path_system(const ObliviousRouting& routing,
                               std::span<const VertexPair> pairs,
                               const SampleOptions& options,
                               std::uint64_t seed) {
+  const Graph& g = routing.graph();
+  if (options.gomory_hu != nullptr) {
+    // A cut tree from a different graph answers λ queries with silently
+    // wrong values; the fingerprint stamp turns that into a hard error.
+    SOR_CHECK_MSG(
+        options.gomory_hu->fingerprint() == fingerprint_graph(g),
+        "SampleOptions::gomory_hu was built on a different graph than the "
+        "routing (fingerprint "
+            << options.gomory_hu->fingerprint().hex() << " vs "
+            << fingerprint_graph(g).hex() << ")");
+  }
+  const std::string identity = routing.cache_identity();
+  if (identity.empty() || !cache::ArtifactCache::enabled()) {
+    return sample_path_system_uncached(routing, pairs, options, seed);
+  }
+  cache::ArtifactCache& cache = cache::ArtifactCache::global();
+  const cache::CacheKey key{"path_system", fingerprint_graph(g),
+                            sample_key_params(routing, pairs, options, seed)};
+  if (auto payload = cache.get(key)) {
+    try {
+      return deserialize_path_system(*payload);
+    } catch (const CheckError&) {
+      // Structurally invalid payload: rebuild (overwrites the entry).
+    }
+  }
+  PathSystem system = sample_path_system_uncached(routing, pairs, options, seed);
+  cache.put(key, serialize_path_system(system));
+  return system;
+}
+
+namespace {
+
+PathSystem sample_path_system_uncached(const ObliviousRouting& routing,
+                                       std::span<const VertexPair> pairs,
+                                       const SampleOptions& options,
+                                       std::uint64_t seed) {
   SOR_SPAN("sampler/sample_path_system");
   SOR_CHECK(options.k >= 1);
   const Graph& g = routing.graph();
@@ -94,6 +160,8 @@ PathSystem sample_path_system(const ObliviousRouting& routing,
   }
   return system;
 }
+
+}  // namespace
 
 PathSystem sample_path_system_all_pairs(const ObliviousRouting& routing,
                                         const SampleOptions& options,

@@ -27,10 +27,29 @@ RestrictedProblem EpochController::build_problem(const Demand& demand) const {
   RestrictedProblem problem;
   problem.graph = graph_;
   const PathActivation& activation = repairer_.activation();
+  const std::uint64_t digest = activation.digest();
+  if (!memo_valid_ || digest != memo_digest_) {
+    candidate_memo_.clear();
+    memo_digest_ = digest;
+    memo_valid_ = true;
+    SOR_COUNTER("engine/candidate_memo_invalidations").add();
+  }
   for (const Commodity& c : demand.commodities()) {
     RestrictedCommodity rc;
     rc.demand = c.amount;
-    rc.candidates = activation.active_oriented(c.src, c.dst);
+    const std::uint64_t key = (static_cast<std::uint64_t>(c.src) << 32) |
+                              static_cast<std::uint64_t>(c.dst);
+    const auto memo_it = candidate_memo_.find(key);
+    if (memo_it != candidate_memo_.end()) {
+      rc.candidates = memo_it->second;
+      SOR_COUNTER("engine/candidate_memo_hits").add();
+    } else {
+      rc.candidates = activation.active_oriented(c.src, c.dst);
+      if (!rc.candidates.empty()) {
+        candidate_memo_.emplace(key, rc.candidates);
+      }
+      SOR_COUNTER("engine/candidate_memo_misses").add();
+    }
     if (rc.candidates.empty()) {
       // Pair outside the installed system (or its mandatory fallback was
       // unreachable) — last-resort surviving-graph shortest path, the

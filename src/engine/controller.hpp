@@ -112,6 +112,16 @@ class EpochController {
   PathRepairer repairer_;
   std::unique_ptr<DemandPredictor> predictor_;
   std::size_t epoch_ = 0;
+  /// Per-direction candidate lists memoized across epochs: repeated
+  /// re-solves rebuild the same oriented path copies unless the activation
+  /// mask actually changed. Keyed by the activation digest — any failure,
+  /// recovery, or fallback install changes the digest and drops the memo;
+  /// quiet epochs (the common case) reuse it. Empty candidate lists are
+  /// never memoized (their ad-hoc fallback depends on the surviving
+  /// graph, not just the mask).
+  mutable std::unordered_map<std::uint64_t, std::vector<Path>> candidate_memo_;
+  mutable std::uint64_t memo_digest_ = 0;
+  mutable bool memo_valid_ = false;
   /// Installed split: pair → (path → fraction of the pair's demand).
   std::unordered_map<VertexPair, std::unordered_map<Path, double, PathHash>,
                      VertexPairHash>

@@ -1,0 +1,43 @@
+#include "graph/fingerprint.hpp"
+
+#include <bit>
+#include <cstdio>
+
+namespace sor {
+
+std::uint64_t mix_hash(std::uint64_t state, std::uint64_t value) {
+  // splitmix64 finalizer over (state rotated, value): position-dependent,
+  // so sequences that differ only by order produce different digests.
+  std::uint64_t z = std::rotl(state, 5) ^ (value + 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix_hash(std::uint64_t state, double value) {
+  return mix_hash(state, std::bit_cast<std::uint64_t>(value));
+}
+
+GraphFingerprint fingerprint_graph(const Graph& g) {
+  GraphFingerprint fp;
+  fp.num_vertices = g.num_vertices();
+  fp.num_edges = g.num_edges();
+  std::uint64_t h = mix_hash(0x534f5247u /* "SORG" */, fp.num_vertices);
+  h = mix_hash(h, fp.num_edges);
+  for (const Edge& e : g.edges()) {
+    h = mix_hash(h, static_cast<std::uint64_t>(e.u));
+    h = mix_hash(h, static_cast<std::uint64_t>(e.v));
+    h = mix_hash(h, e.capacity);
+  }
+  fp.digest = h;
+  return fp;
+}
+
+std::string GraphFingerprint::hex() const {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(digest));
+  return std::string(buf);
+}
+
+}  // namespace sor

@@ -1,0 +1,50 @@
+#pragma once
+
+// Structural graph fingerprints — the cache key primitive.
+//
+// A GraphFingerprint is a cheap (one pass over the edge list) content
+// digest of a Graph: vertex count, edge count, and a 64-bit hash of the
+// edge list with capacities, in insertion order. Two graphs with the same
+// fingerprint are byte-for-byte the same routing substrate (same dense
+// ids, same edge ordering, same capacities up to bit pattern), which is
+// exactly the equality the artifact cache (src/cache) and the Gomory–Hu
+// stamp need: every deterministic construction on the graph — FRT trees,
+// cut trees, sampled path systems — reproduces bit-identically.
+//
+// The hash is order-sensitive on purpose: edge ids are the library's
+// fixed edge ordering (weak routing, activation masks), so graphs that
+// differ only by edge insertion order are NOT interchangeable.
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace sor {
+
+struct GraphFingerprint {
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  std::uint64_t digest = 0;
+
+  friend bool operator==(const GraphFingerprint&,
+                         const GraphFingerprint&) = default;
+
+  /// 16 lowercase hex digits of `digest` (for file names / logs).
+  std::string hex() const;
+};
+
+/// Fingerprints the graph: n, m, and a splitmix-folded hash over
+/// (u, v, capacity bits) of every edge in id order.
+GraphFingerprint fingerprint_graph(const Graph& g);
+
+/// Order-sensitive 64-bit mixer shared by the fingerprint and the cache
+/// key digests: folds `value` into `state` through a splitmix64 step so
+/// that permuted inputs hash differently.
+std::uint64_t mix_hash(std::uint64_t state, std::uint64_t value);
+
+/// Mixes a double by bit pattern (distinguishes -0.0 from +0.0 and every
+/// NaN payload — bit-identity is the contract, not numeric equality).
+std::uint64_t mix_hash(std::uint64_t state, double value);
+
+}  // namespace sor

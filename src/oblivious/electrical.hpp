@@ -29,6 +29,7 @@ class ElectricalRouting final : public ObliviousRouting {
 
   Path sample_path(Vertex s, Vertex t, Rng& rng) const override;
   std::string name() const override { return "electrical"; }
+  std::string cache_identity() const override { return "electrical"; }
 
   /// The cached unit s→t electrical flow (signed per edge, u→v positive),
   /// computing it on first use.

@@ -174,4 +174,10 @@ std::string KspRouting::name() const {
   return "ksp" + std::to_string(k_);
 }
 
+std::string KspRouting::cache_identity() const {
+  // Yen's algorithm on the inverse-capacity metric is deterministic; k is
+  // the only free parameter.
+  return "ksp;k=" + std::to_string(k_);
+}
+
 }  // namespace sor

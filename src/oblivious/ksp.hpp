@@ -31,6 +31,7 @@ class KspRouting final : public ObliviousRouting {
 
   Path sample_path(Vertex s, Vertex t, Rng& rng) const override;
   std::string name() const override;
+  std::string cache_identity() const override;
 
   /// The cached candidate list for a pair (computing it if needed).
   const std::vector<Path>& candidates(Vertex s, Vertex t) const;

@@ -1,13 +1,31 @@
 #include "oblivious/racke_routing.hpp"
 
+#include <bit>
+#include <sstream>
+
+#include "tree/ensemble_io.hpp"
+
 namespace sor {
 
 RaeckeRouting::RaeckeRouting(const Graph& g, const RaeckeOptions& options)
-    : ObliviousRouting(g), ensemble_(g, options) {}
+    : ObliviousRouting(g),
+      options_(options),
+      ensemble_(build_raecke_ensemble_cached(g, options)) {}
 
 Path RaeckeRouting::sample_path(Vertex s, Vertex t, Rng& rng) const {
   SOR_CHECK(s != t);
   return ensemble_.sample_path(s, t, rng);
+}
+
+std::string RaeckeRouting::cache_identity() const {
+  // eta by bit pattern: the identity must distinguish every double, not
+  // every printed approximation.
+  std::ostringstream os;
+  os << "racke;trees=" << options_.num_trees << ";eta="
+     << std::bit_cast<std::uint64_t>(options_.eta)
+     << ";optw=" << (options_.optimize_weights ? 1 : 0)
+     << ";seed=" << options_.seed;
+  return os.str();
 }
 
 }  // namespace sor

@@ -13,14 +13,17 @@ namespace sor {
 
 class RaeckeRouting final : public ObliviousRouting {
  public:
+  /// Builds (or, with the artifact cache enabled, reloads) the ensemble.
   RaeckeRouting(const Graph& g, const RaeckeOptions& options = {});
 
   Path sample_path(Vertex s, Vertex t, Rng& rng) const override;
   std::string name() const override { return "racke"; }
+  std::string cache_identity() const override;
 
   const RaeckeEnsemble& ensemble() const { return ensemble_; }
 
  private:
+  RaeckeOptions options_;
   RaeckeEnsemble ensemble_;
 };
 

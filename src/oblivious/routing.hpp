@@ -32,6 +32,15 @@ class ObliviousRouting {
   /// Identifier used in experiment tables.
   virtual std::string name() const = 0;
 
+  /// Cache identity: a string that, together with the graph, fully
+  /// determines the routing's path distribution — every construction
+  /// parameter and internal seed must be encoded. Artifacts sampled from
+  /// this routing (src/cache) are keyed on it. Return "" (the default)
+  /// when the distribution is not reproducible from parameters alone;
+  /// such routings are never cached. Conservative by design: a missing
+  /// override costs a rebuild, a wrong one serves stale paths.
+  virtual std::string cache_identity() const { return ""; }
+
   const Graph& graph() const { return *graph_; }
 
  protected:

@@ -29,4 +29,11 @@ std::string ShortestPathRouting::name() const {
   return metric_ == Metric::kHops ? "sp-hops" : "sp-invcap";
 }
 
+std::string ShortestPathRouting::cache_identity() const {
+  // Deterministic point-mass distribution; the metric is the only
+  // parameter (edge-id tie-breaking is fixed by construction).
+  return "sp;metric=" + std::string(metric_ == Metric::kHops ? "hops"
+                                                             : "invcap");
+}
+
 }  // namespace sor

@@ -26,6 +26,7 @@ class ShortestPathRouting final : public ObliviousRouting {
 
   Path sample_path(Vertex s, Vertex t, Rng& rng) const override;
   std::string name() const override;
+  std::string cache_identity() const override;
 
  private:
   const SpTree& tree_from(Vertex s) const;

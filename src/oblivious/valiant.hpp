@@ -19,6 +19,9 @@ class ValiantHypercube final : public ObliviousRouting {
 
   Path sample_path(Vertex s, Vertex t, Rng& rng) const override;
   std::string name() const override { return "valiant"; }
+  std::string cache_identity() const override {
+    return "valiant;dim=" + std::to_string(dimension_);
+  }
 
   /// The deterministic greedy bit-fixing walk s→t (no intermediate).
   Path bit_fixing_path(Vertex s, Vertex t) const;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 #include "util/check.hpp"
 
@@ -15,6 +16,10 @@ bool JsonValue::as_bool() const {
 }
 
 double JsonValue::as_number() const {
+  // null is how the writer encodes non-finite doubles (JSON has no
+  // nan/inf literals); read it back as quiet NaN so metric round-trips
+  // are lossless up to NaN payload.
+  if (is_null()) return std::numeric_limits<double>::quiet_NaN();
   SOR_CHECK_MSG(is_number(), "json value is not a number");
   return number_;
 }
@@ -101,7 +106,12 @@ void append_escaped(std::string& out, const std::string& s) {
 }
 
 void append_number(std::string& out, double n) {
-  SOR_CHECK_MSG(std::isfinite(n), "json cannot represent non-finite number");
+  // JSON has no representation for nan/inf; "null" keeps the document
+  // parseable by any consumer (as_number() maps it back to NaN).
+  if (!std::isfinite(n)) {
+    out += "null";
+    return;
+  }
   if (n == std::floor(n) && std::abs(n) < 1e15) {
     char buf[32];
     std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(n));

@@ -40,7 +40,9 @@ class JsonValue {
   bool is_array() const { return kind_ == Kind::kArray; }
   bool is_object() const { return kind_ == Kind::kObject; }
 
-  /// Typed accessors; throw CheckError on kind mismatch.
+  /// Typed accessors; throw CheckError on kind mismatch. as_number()
+  /// additionally accepts null (the encoding of non-finite doubles) and
+  /// returns quiet NaN for it.
   bool as_bool() const;
   double as_number() const;
   const std::string& as_string() const;

@@ -1,0 +1,124 @@
+#include "tree/ensemble_io.hpp"
+
+#include <utility>
+
+#include "cache/binary.hpp"
+#include "cache/cache.hpp"
+
+namespace sor {
+
+namespace {
+
+void write_path(cache::BinaryWriter& w, const Path& p) {
+  w.u32(p.src);
+  w.u32(p.dst);
+  w.u32_vec(p.edges);
+}
+
+Path read_path(cache::BinaryReader& r) {
+  Path p;
+  p.src = r.u32();
+  p.dst = r.u32();
+  p.edges = r.u32_vec();
+  return p;
+}
+
+void write_tree(cache::BinaryWriter& w, const HstTree& tree,
+                std::size_t num_vertices) {
+  w.u64(tree.nodes().size());
+  for (const HstNode& node : tree.nodes()) {
+    w.u32(node.center);
+    w.u32(static_cast<std::uint32_t>(node.level));
+    w.u32(node.parent);
+    w.u32_vec(node.children);
+    w.u32_vec(node.members);
+    w.f64(node.cut_capacity);
+    write_path(w, node.up_path);
+  }
+  std::vector<std::uint32_t> leaves(num_vertices);
+  for (Vertex v = 0; v < num_vertices; ++v) leaves[v] = tree.leaf_of(v);
+  w.u32_vec(leaves);
+}
+
+HstTree read_tree(cache::BinaryReader& r) {
+  const std::uint64_t num_nodes = r.u64();
+  std::vector<HstNode> nodes(static_cast<std::size_t>(num_nodes));
+  for (HstNode& node : nodes) {
+    node.center = r.u32();
+    node.level = static_cast<std::int32_t>(r.u32());
+    node.parent = r.u32();
+    node.children = r.u32_vec();
+    node.members = r.u32_vec();
+    node.cut_capacity = r.f64();
+    node.up_path = read_path(r);
+  }
+  std::vector<HstNodeId> leaf_of_vertex = r.u32_vec();
+  return HstTree(std::move(nodes), std::move(leaf_of_vertex));
+}
+
+std::uint64_t options_digest(const RaeckeOptions& options) {
+  std::uint64_t h = mix_hash(0x52434b45u /* "RCKE" */,
+                             static_cast<std::uint64_t>(options.num_trees));
+  h = mix_hash(h, options.eta);
+  h = mix_hash(h, static_cast<std::uint64_t>(options.optimize_weights));
+  h = mix_hash(h, options.seed);
+  return h;
+}
+
+}  // namespace
+
+std::string serialize_raecke_ensemble(const RaeckeEnsemble& ensemble) {
+  const Graph& g = ensemble.graph();
+  cache::BinaryWriter w;
+  w.u64(ensemble.num_trees());
+  for (std::size_t i = 0; i < ensemble.num_trees(); ++i) {
+    write_tree(w, ensemble.tree(i), g.num_vertices());
+  }
+  std::vector<double> weights(ensemble.num_trees());
+  for (std::size_t i = 0; i < ensemble.num_trees(); ++i) {
+    weights[i] = ensemble.tree_weight(i);
+  }
+  w.f64_vec(weights);
+  const std::span<const double> rload = ensemble.mixture_rload();
+  w.f64_vec(std::vector<double>(rload.begin(), rload.end()));
+  return w.take();
+}
+
+RaeckeEnsemble deserialize_raecke_ensemble(const Graph& g,
+                                           std::string_view payload) {
+  cache::BinaryReader r(payload);
+  const std::uint64_t num_trees = r.u64();
+  std::vector<HstTree> trees;
+  trees.reserve(static_cast<std::size_t>(num_trees));
+  for (std::uint64_t i = 0; i < num_trees; ++i) {
+    trees.push_back(read_tree(r));
+  }
+  std::vector<double> weights = r.f64_vec();
+  std::vector<double> mixture_rload = r.f64_vec();
+  r.expect_done();
+  return RaeckeEnsemble(g, std::move(trees), std::move(weights),
+                        std::move(mixture_rload));
+}
+
+RaeckeEnsemble build_raecke_ensemble_cached(const Graph& g,
+                                            const RaeckeOptions& options) {
+  if (!cache::ArtifactCache::enabled()) {
+    return RaeckeEnsemble(g, options);
+  }
+  cache::ArtifactCache& cache = cache::ArtifactCache::global();
+  const cache::CacheKey key{"racke_ensemble", fingerprint_graph(g),
+                            options_digest(options)};
+  if (auto payload = cache.get(key)) {
+    try {
+      return deserialize_raecke_ensemble(g, *payload);
+    } catch (const CheckError&) {
+      // Structurally invalid payload (e.g. produced against a different
+      // build): fall through to a rebuild, which overwrites the entry.
+    }
+  }
+  RaeckeEnsemble ensemble(g, options);
+  cache.put(key, serialize_raecke_ensemble(ensemble));
+  return ensemble;
+}
+
+}  // namespace sor

@@ -1,0 +1,33 @@
+#pragma once
+
+// Cache (de)serialization of Räcke FRT-tree ensembles.
+//
+// The ensemble is by far the most expensive artifact the offline phase
+// produces (dozens of FRT builds, each with all-pairs shortest paths), and
+// it is a pure function of (graph, RaeckeOptions) — the MWU loop and every
+// FRT draw are seeded. The payload stores every HST node verbatim (centers,
+// levels, parents, members, cut capacities, mapped up-paths), the mixture
+// weights, and the mixture relative load, so a deserialized ensemble routes
+// and certifies bit-identically to a rebuilt one.
+
+#include <string>
+#include <string_view>
+
+#include "tree/racke.hpp"
+
+namespace sor {
+
+std::string serialize_raecke_ensemble(const RaeckeEnsemble& ensemble);
+
+/// `g` must be the graph the ensemble was built on (the caller guarantees
+/// this by keying the cache lookup with the graph's fingerprint).
+RaeckeEnsemble deserialize_raecke_ensemble(const Graph& g,
+                                           std::string_view payload);
+
+/// Builds the ensemble through the global artifact cache: a hit (memory or
+/// disk) skips the whole MWU/FRT construction. Falls back to a plain build
+/// when the cache is disabled (SOR_CACHE=off).
+RaeckeEnsemble build_raecke_ensemble_cached(const Graph& g,
+                                            const RaeckeOptions& options);
+
+}  // namespace sor

@@ -87,6 +87,18 @@ RaeckeEnsemble::RaeckeEnsemble(const Graph& g, const RaeckeOptions& options)
                  << mixture_max_relative_load();
 }
 
+RaeckeEnsemble::RaeckeEnsemble(const Graph& g, std::vector<HstTree> trees,
+                               std::vector<double> weights,
+                               std::vector<double> mixture_rload)
+    : graph_(&g),
+      trees_(std::move(trees)),
+      weights_(std::move(weights)),
+      mixture_rload_(std::move(mixture_rload)) {
+  SOR_CHECK_MSG(!trees_.empty() && trees_.size() == weights_.size() &&
+                    mixture_rload_.size() == g.num_edges(),
+                "malformed Räcke ensemble parts");
+}
+
 std::size_t RaeckeEnsemble::sample_tree(Rng& rng) const {
   return rng.next_weighted(weights_);
 }

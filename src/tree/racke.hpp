@@ -45,6 +45,13 @@ class RaeckeEnsemble {
   /// sequential MWU; parallelism is used inside each tree build).
   RaeckeEnsemble(const Graph& g, const RaeckeOptions& options);
 
+  /// Reassembles an ensemble from its stored parts (cache deserialization;
+  /// see tree/ensemble_io.hpp). `mixture_rload` must be the per-edge
+  /// Σ_i w_i·rload_i of exactly these trees/weights on `g`.
+  RaeckeEnsemble(const Graph& g, std::vector<HstTree> trees,
+                 std::vector<double> weights,
+                 std::vector<double> mixture_rload);
+
   const Graph& graph() const { return *graph_; }
   std::size_t num_trees() const { return trees_.size(); }
   const HstTree& tree(std::size_t i) const { return trees_[i]; }
@@ -60,6 +67,10 @@ class RaeckeEnsemble {
   /// mixture (an upper bound on the competitive ratio against any demand
   /// routable with congestion 1).
   double mixture_max_relative_load() const;
+
+  /// Per-edge Σ_i w_i · rload_i (the certificate's witness vector; also
+  /// what the cache serializer persists so reloads skip recomputation).
+  std::span<const double> mixture_rload() const { return mixture_rload_; }
 
  private:
   const Graph* graph_;

@@ -44,12 +44,26 @@ class ReporterContextGuard {
   telemetry::detail::ReporterState* saved_;
 };
 
+ThreadPool* g_default_pool_override = nullptr;
+
 }  // namespace
+
+ThreadPool& default_pool() {
+  return g_default_pool_override != nullptr ? *g_default_pool_override
+                                            : ThreadPool::global();
+}
+
+ScopedDefaultPool::ScopedDefaultPool(std::size_t num_threads)
+    : pool_(num_threads), saved_(g_default_pool_override) {
+  g_default_pool_override = &pool_;
+}
+
+ScopedDefaultPool::~ScopedDefaultPool() { g_default_pool_override = saved_; }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   ThreadPool* pool) {
   if (n == 0) return;
-  if (pool == nullptr) pool = &ThreadPool::global();
+  if (pool == nullptr) pool = &default_pool();
 
   const std::size_t workers = pool->num_threads();
   if (n == 1 || workers <= 1) {
