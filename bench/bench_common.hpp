@@ -30,6 +30,7 @@
 #include "flow/mcf.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
 #include "telemetry/span.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
@@ -45,7 +46,12 @@ namespace sor::bench {
 /// inside "telemetry". v4: added the "cache" block (artifact-cache
 /// hit/miss/eviction counters plus the enabled flag, see src/cache/) —
 /// the warm-vs-cold fixture chain asserts on it.
-inline constexpr int kArtifactSchemaVersion = 4;
+// v5: added the "health" block (runtime health registry snapshot:
+// quantile-sketch summaries with bucket counts, per-sketch watermarks,
+// epoch-windowed series, recorder drop counters, and the SLO breach list
+// + 0/1 status, see src/telemetry/metrics.hpp) — the SLO fixture chain
+// and `sor_cli slo` evaluate it.
+inline constexpr int kArtifactSchemaVersion = 5;
 
 namespace detail {
 // Captured at static initialization — close enough to process start for
@@ -161,6 +167,11 @@ inline telemetry::JsonValue artifact_json(const std::string& id,
   cache_block.set("bytes", cache_stats.bytes);
   cache_block.set("entries", cache_stats.entries);
   doc.set("cache", std::move(cache_block));
+
+  // v5: runtime health snapshot (sketch quantiles, windowed series,
+  // recorder drops, SLO breaches). Carries enabled=false with empty
+  // contents under SOR_TELEMETRY=off.
+  doc.set("health", telemetry::health_to_json());
   return doc;
 }
 

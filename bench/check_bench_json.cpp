@@ -305,6 +305,119 @@ void check_cache(const JsonValue& doc) {
   }
 }
 
+/// One [epoch, value] windowed series from the health block: pairs with
+/// non-decreasing epoch indices within a run. A decrease is legal only
+/// as a restart to epoch 0 — a process that drives several control
+/// loops (E16 runs warm and cold modes back to back) rolls each run's
+/// epochs from 0 into the same window ring.
+void check_health_window(const JsonValue& window, const std::string& where) {
+  require(window.is_array(), where + " is not an array");
+  double last_epoch = -1;
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    const std::string pw = where + "[" + std::to_string(i) + "]";
+    const JsonValue& point = window.at(i);
+    require(point.is_array() && point.size() == 2,
+            pw + " is not an [epoch, value] pair");
+    require(point.at(std::size_t{0}).is_number() &&
+                point.at(std::size_t{1}).is_number(),
+            pw + " entries are not numbers");
+    const double epoch = point.at(std::size_t{0}).as_number();
+    require(epoch >= last_epoch || epoch == 0,
+            pw + " epoch indices decrease without a run restart");
+    last_epoch = epoch;
+  }
+}
+
+/// The schema-v5 runtime-health block (src/telemetry/metrics.hpp):
+/// sketch snapshots whose bucket counts reconcile with the reported
+/// count and whose quantiles are ordered, epoch-indexed windowed series,
+/// recorder drop accounting, and a breach list consistent with the 0/1
+/// status.
+void check_health(const JsonValue& doc) {
+  check_member(doc, "health", JsonValue::Kind::kObject, "object");
+  const JsonValue& health = doc.at("health");
+  check_member(health, "enabled", JsonValue::Kind::kBool, "bool");
+  check_member(health, "epochs_rolled", JsonValue::Kind::kNumber, "number");
+  check_member(health, "recorder", JsonValue::Kind::kObject, "object");
+  const JsonValue& recorder = health.at("recorder");
+  check_member(recorder, "recorded", JsonValue::Kind::kNumber, "number");
+  check_member(recorder, "dropped", JsonValue::Kind::kNumber, "number");
+  require(recorder.at("dropped").as_number() >= 0,
+          "health/recorder/dropped is negative");
+  require(recorder.at("dropped").as_number() <=
+              recorder.at("recorded").as_number(),
+          "health/recorder dropped more events than it recorded");
+
+  check_member(health, "sketches", JsonValue::Kind::kObject, "object");
+  for (const auto& [name, sketch] : health.at("sketches").members()) {
+    const std::string where = "health/sketches/" + name;
+    require(sketch.is_object(), where + " is not an object");
+    for (const char* key : {"count", "sum", "min", "max", "p50", "p95",
+                            "p99"}) {
+      check_member(sketch, key, JsonValue::Kind::kNumber, "number");
+    }
+    check_member(sketch, "buckets", JsonValue::Kind::kArray, "array");
+    const JsonValue& buckets = sketch.at("buckets");
+    double bucket_total = 0;
+    double last_index = -1;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      const std::string bw = where + "/buckets[" + std::to_string(i) + "]";
+      const JsonValue& pair = buckets.at(i);
+      require(pair.is_array() && pair.size() == 2,
+              bw + " is not an [index, count] pair");
+      const double index = pair.at(std::size_t{0}).as_number();
+      const double count = pair.at(std::size_t{1}).as_number();
+      require(index > last_index, bw + " bucket indices not increasing");
+      require(count > 0, bw + " has a non-positive count");
+      last_index = index;
+      bucket_total += count;
+    }
+    const double count = sketch.at("count").as_number();
+    require(bucket_total == count,
+            where + " bucket counts sum to " + std::to_string(bucket_total) +
+                ", expected count " + std::to_string(count));
+    const double p50 = sketch.at("p50").as_number();
+    const double p95 = sketch.at("p95").as_number();
+    const double p99 = sketch.at("p99").as_number();
+    require(p50 <= p95 && p95 <= p99, where + " quantiles are not ordered");
+    if (count > 0 && sketch.at("min").as_number() >= 0) {
+      // Quantiles report bucket lower bounds, so for non-negative data
+      // they never exceed the exact max.
+      require(p99 <= sketch.at("max").as_number(),
+              where + " p99 exceeds the exact max");
+    }
+  }
+
+  check_member(health, "watermarks", JsonValue::Kind::kObject, "object");
+  for (const auto& [name, value] : health.at("watermarks").members()) {
+    require(value.is_number(), "health/watermarks/" + name + " not a number");
+  }
+  check_member(health, "rates", JsonValue::Kind::kObject, "object");
+  for (const auto& [name, window] : health.at("rates").members()) {
+    check_health_window(window, "health/rates/" + name);
+  }
+  check_member(health, "gauges", JsonValue::Kind::kObject, "object");
+  for (const auto& [name, window] : health.at("gauges").members()) {
+    check_health_window(window, "health/gauges/" + name);
+  }
+
+  check_member(health, "breaches", JsonValue::Kind::kArray, "array");
+  const JsonValue& breaches = health.at("breaches");
+  for (std::size_t i = 0; i < breaches.size(); ++i) {
+    const std::string where = "health/breaches[" + std::to_string(i) + "]";
+    const JsonValue& breach = breaches.at(i);
+    require(breach.is_object(), where + " is not an object");
+    check_member(breach, "slo", JsonValue::Kind::kString, "string");
+    for (const char* key : {"epoch", "value", "budget"}) {
+      check_member(breach, key, JsonValue::Kind::kNumber, "number");
+    }
+  }
+  check_member(health, "status", JsonValue::Kind::kNumber, "number");
+  const bool breached = breaches.size() > 0;
+  require((health.at("status").as_number() != 0) == breached,
+          "health/status disagrees with the breach list");
+}
+
 /// --compare-tables: the "table" blocks of two artifacts must serialize
 /// identically. This is the bit-identical-reuse check of the cold/warm
 /// fixture chain: a warm (cache-served) bench run must reproduce the cold
@@ -412,6 +525,7 @@ int main(int argc, char** argv) {
   require(doc.at("schema_version").as_number() >= 3,
           "schema_version < 3 (artifact written by an old bench build)");
   const bool has_cache_block = doc.at("schema_version").as_number() >= 4;
+  const bool has_health_block = doc.at("schema_version").as_number() >= 5;
   require(has_cache_block || !require_cache_hits,
           "--require-cache-hits needs a schema v4+ artifact");
   check_member(doc, "experiment", JsonValue::Kind::kString, "string");
@@ -459,6 +573,7 @@ int main(int argc, char** argv) {
   check_events(doc);
   const std::set<std::string> solvers = check_convergence(doc);
   if (has_cache_block) check_cache(doc);
+  if (has_health_block) check_health(doc);
   if (require_cache_hits) {
     const JsonValue& cache = doc.at("cache");
     require(cache.at("enabled").as_bool(),
@@ -489,6 +604,24 @@ int main(int argc, char** argv) {
     require(doc.at("events").at("events").size() > 0,
             "E16 artifact has no recorder events (controller instrumentation "
             "or SOR_TELEMETRY off)");
+    if (has_health_block) {
+      // The control loop must have fed the health layer: solve-latency
+      // quantiles and a congestion watermark (acceptance criteria for the
+      // runtime-health PR).
+      const JsonValue& sketches = doc.at("health").at("sketches");
+      require(sketches.has("engine/solve_seconds"),
+              "E16 health block has no engine/solve_seconds sketch");
+      require(sketches.at("engine/solve_seconds").at("count").as_number() > 0,
+              "E16 engine/solve_seconds sketch is empty");
+      require(sketches.has("engine/congestion"),
+              "E16 health block has no engine/congestion sketch");
+      require(sketches.at("engine/congestion").at("max").as_number() > 0,
+              "E16 congestion watermark is zero");
+      require(doc.at("health").at("watermarks").has("engine/congestion"),
+              "E16 health block has no engine/congestion watermark");
+      require(doc.at("health").at("epochs_rolled").as_number() > 0,
+              "E16 health block rolled no epoch windows");
+    }
   }
 
   std::printf("%s: ok (%zu spans, %zu counters, %zu recorder events)\n",

@@ -4,6 +4,8 @@
 //   sor_cli --graph <edge-list file> [--demand <demand file>] [options]
 //   sor_cli engine run    [engine options]
 //   sor_cli engine replay --record FILE [--digest FILE] [--trace]
+//   sor_cli monitor       [engine-run options]
+//   sor_cli slo BENCH_x.json [--slo-config FILE]
 //   sor_cli report BENCH_x.json
 //   sor_cli diff OLD.json NEW.json [diff options]
 //   sor_cli profile BENCH_x.json
@@ -36,6 +38,26 @@
 //                     engine/solve_truncated recorder event). 0 = none
 //   --record FILE     save the run record (trace + config) for replay
 //   --digest FILE     write the deterministic run digest (JSON)
+//   --slo-config FILE JSON health bounds (max_congestion, solve_p99_ms,
+//                     min_cache_hit_rate); breaches print after the run
+//                     and flip the exit code to the health status
+//   --prom-out FILE   write a Prometheus text-exposition snapshot of the
+//                     full telemetry + health state at exit
+//
+// Health tooling:
+//   sor_cli monitor [engine-run options]
+//                                 live control loop: one health row per
+//                                 epoch (congestion + watermark, solve
+//                                 p50/p95/p99, cache hit rate, recorder
+//                                 drops, breaches) as the run progresses;
+//                                 exits with the run's health status
+//     --health-jsonl FILE         append one JSONL health snapshot per
+//                                 epoch (telemetry::epoch_health_json)
+//   sor_cli slo BENCH_x.json [--slo-config FILE]
+//                                 offline SLO check of an artifact's
+//                                 health block: reports run-time breaches
+//                                 and re-evaluates the config's bounds;
+//                                 exits nonzero on any violation
 //
 // Artifact tooling:
 //   sor_cli report BENCH_x.json   human-readable artifact summary (table,
@@ -58,6 +80,7 @@
 #include <cstring>
 #include <exception>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -80,6 +103,8 @@
 #include "sim/packet_sim.hpp"
 #include "telemetry/artifact.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/slo.hpp"
 #include "telemetry/span.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/stopwatch.hpp"
@@ -212,6 +237,8 @@ int diff_main(int argc, char** argv) {
                "[--dump-paths FILE] [--trace] [--trace-out FILE] "
                "[--cache-dir DIR]\n"
                "       sor_cli engine run|replay [options]\n"
+               "       sor_cli monitor [engine-run options]\n"
+               "       sor_cli slo BENCH_x.json [--slo-config FILE]\n"
                "       sor_cli report BENCH_x.json\n"
                "       sor_cli diff OLD.json NEW.json [options]\n"
                "       sor_cli profile BENCH_x.json\n";
@@ -279,10 +306,127 @@ std::unique_ptr<sor::ObliviousRouting> make_source(const std::string& name,
                "[--graph FILE] [--k N] [--source racke|ksp|sp] [--seed N] "
                "[--epochs N] [--predictor ewma|peak] [--backend mwu|exact] "
                "[--churn-budget N] [--cold] [--solve-deadline-ms N] "
-               "[--record FILE] [--digest FILE] [--trace] [--cache-dir DIR]\n"
+               "[--record FILE] [--digest FILE] [--slo-config FILE] "
+               "[--prom-out FILE] [--trace] [--cache-dir DIR]\n"
                "       sor_cli engine replay --record FILE [--digest FILE] "
-               "[--trace]\n";
+               "[--trace]\n"
+               "       sor_cli monitor [engine-run options] "
+               "[--health-jsonl FILE]\n";
   std::exit(2);
+}
+
+/// Everything `engine run|replay` and `monitor` parse from the command
+/// line: the run config plus output/health side channels.
+struct EngineCli {
+  sor::engine::EngineRunConfig config;
+  std::string record_path;
+  std::string digest_path;
+  std::string trace_out;
+  std::string slo_config_path;
+  std::string prom_out;
+  std::string health_jsonl;
+  bool trace_spans = false;
+};
+
+/// Parses engine flags starting at argv[start] ("engine run" parses from
+/// index 3, "monitor" from index 2 — same flag set either way).
+EngineCli parse_engine_flags(int argc, char** argv, int start) {
+  EngineCli cli;
+  for (int i = start; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) engine_usage(("missing value for " + flag).c_str());
+      return argv[++i];
+    };
+    if (flag == "--wan") {
+      cli.config.topology = "wan:" + value();
+    } else if (flag == "--graph") {
+      cli.config.topology = "file:" + value();
+    } else if (flag == "--k") {
+      cli.config.k = std::stoull(value());
+    } else if (flag == "--source") {
+      cli.config.source = value();
+    } else if (flag == "--seed") {
+      cli.config.seed = std::stoull(value());
+    } else if (flag == "--epochs") {
+      cli.config.trace.num_epochs = std::stoull(value());
+    } else if (flag == "--predictor") {
+      const std::string v = value();
+      if (v == "ewma") {
+        cli.config.engine.predictor = sor::engine::PredictorKind::kEwma;
+      } else if (v == "peak") {
+        cli.config.engine.predictor = sor::engine::PredictorKind::kPeak;
+      } else {
+        engine_usage(("unknown predictor " + v).c_str());
+      }
+    } else if (flag == "--backend") {
+      const std::string v = value();
+      if (v == "mwu") {
+        cli.config.engine.backend = sor::engine::EngineBackend::kMwu;
+      } else if (v == "exact") {
+        cli.config.engine.backend = sor::engine::EngineBackend::kExact;
+      } else {
+        engine_usage(("unknown backend " + v).c_str());
+      }
+    } else if (flag == "--churn-budget") {
+      cli.config.engine.repair.churn_budget = std::stoull(value());
+    } else if (flag == "--cold") {
+      cli.config.engine.warm_start = false;
+    } else if (flag == "--solve-deadline-ms") {
+      cli.config.engine.solve_deadline_ms = std::stoull(value());
+    } else if (flag == "--record") {
+      cli.record_path = value();
+    } else if (flag == "--digest") {
+      cli.digest_path = value();
+    } else if (flag == "--slo-config") {
+      cli.slo_config_path = value();
+    } else if (flag == "--prom-out") {
+      cli.prom_out = value();
+    } else if (flag == "--health-jsonl") {
+      cli.health_jsonl = value();
+    } else if (flag == "--trace") {
+      cli.trace_spans = true;
+    } else if (flag == "--trace-out") {
+      cli.trace_out = value();
+    } else if (flag == "--cache-dir") {
+      sor::cache::ArtifactCache::global().set_directory(value());
+    } else {
+      engine_usage(("unknown flag " + flag).c_str());
+    }
+  }
+  if (!cli.slo_config_path.empty()) {
+    try {
+      cli.config.engine.slo =
+          sor::telemetry::load_slo_config(cli.slo_config_path);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      std::exit(2);
+    }
+  }
+  return cli;
+}
+
+void print_breaches(const std::vector<sor::telemetry::SloBreach>& breaches) {
+  for (const sor::telemetry::SloBreach& b : breaches) {
+    std::cout << "SLO BREACH  epoch " << b.epoch << "  " << b.slo
+              << "  observed " << sor::telemetry::format_quantity(b.value)
+              << "  budget " << sor::telemetry::format_quantity(b.budget)
+              << "\n";
+  }
+}
+
+/// --prom-out: a final text-exposition snapshot, written at exit so it
+/// sees the whole run. Returns false (after logging) on I/O failure.
+bool write_prom_out(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "error: cannot write Prometheus snapshot to " << path
+              << "\n";
+    return false;
+  }
+  sor::telemetry::write_prometheus(os);
+  std::cout << "wrote Prometheus snapshot to " << path << "\n";
+  return true;
 }
 
 void print_engine_result(const sor::engine::EngineRunRecord& record,
@@ -329,108 +473,199 @@ void write_digest(const std::string& path,
 int engine_main(int argc, char** argv) {
   if (argc < 3) engine_usage("engine needs a subcommand: run | replay");
   const std::string sub = argv[2];
+  EngineCli cli = parse_engine_flags(argc, argv, 3);
+  if (!cli.trace_out.empty()) enable_timeline_capture();
 
-  sor::engine::EngineRunConfig config;
-  std::string record_path;
-  std::string digest_path;
-  std::string trace_out;
-  bool trace_spans = false;
-  for (int i = 3; i < argc; ++i) {
-    const std::string flag = argv[i];
-    auto value = [&]() -> std::string {
-      if (i + 1 >= argc) engine_usage(("missing value for " + flag).c_str());
-      return argv[++i];
-    };
-    if (flag == "--wan") {
-      config.topology = "wan:" + value();
-    } else if (flag == "--graph") {
-      config.topology = "file:" + value();
-    } else if (flag == "--k") {
-      config.k = std::stoull(value());
-    } else if (flag == "--source") {
-      config.source = value();
-    } else if (flag == "--seed") {
-      config.seed = std::stoull(value());
-    } else if (flag == "--epochs") {
-      config.trace.num_epochs = std::stoull(value());
-    } else if (flag == "--predictor") {
-      const std::string v = value();
-      if (v == "ewma") {
-        config.engine.predictor = sor::engine::PredictorKind::kEwma;
-      } else if (v == "peak") {
-        config.engine.predictor = sor::engine::PredictorKind::kPeak;
-      } else {
-        engine_usage(("unknown predictor " + v).c_str());
-      }
-    } else if (flag == "--backend") {
-      const std::string v = value();
-      if (v == "mwu") {
-        config.engine.backend = sor::engine::EngineBackend::kMwu;
-      } else if (v == "exact") {
-        config.engine.backend = sor::engine::EngineBackend::kExact;
-      } else {
-        engine_usage(("unknown backend " + v).c_str());
-      }
-    } else if (flag == "--churn-budget") {
-      config.engine.repair.churn_budget = std::stoull(value());
-    } else if (flag == "--cold") {
-      config.engine.warm_start = false;
-    } else if (flag == "--solve-deadline-ms") {
-      config.engine.solve_deadline_ms = std::stoull(value());
-    } else if (flag == "--record") {
-      record_path = value();
-    } else if (flag == "--digest") {
-      digest_path = value();
-    } else if (flag == "--trace") {
-      trace_spans = true;
-    } else if (flag == "--trace-out") {
-      trace_out = value();
-    } else if (flag == "--cache-dir") {
-      sor::cache::ArtifactCache::global().set_directory(value());
-    } else {
-      engine_usage(("unknown flag " + flag).c_str());
-    }
-  }
-  if (!trace_out.empty()) enable_timeline_capture();
-
+  int health_status = 0;
   if (sub == "run") {
-    if (config.k == 0) engine_usage("--k must be positive");
-    if (config.trace.num_epochs == 0) {
+    if (cli.config.k == 0) engine_usage("--k must be positive");
+    if (cli.config.trace.num_epochs == 0) {
       engine_usage("--epochs must be positive");
     }
     const sor::engine::EngineRunOutput out =
-        sor::engine::run_from_config(config);
+        sor::engine::run_from_config(cli.config);
     print_engine_result(out.record, out.result);
-    if (!record_path.empty()) {
-      std::ofstream os(record_path);
+    print_breaches(out.result.breaches);
+    health_status = out.result.health_status;
+    if (!cli.record_path.empty()) {
+      std::ofstream os(cli.record_path);
       if (!os) {
-        std::cerr << "error: cannot write record to " << record_path << "\n";
+        std::cerr << "error: cannot write record to " << cli.record_path
+                  << "\n";
         return 1;
       }
       sor::engine::save_record(out.record, os);
-      std::cout << "wrote run record to " << record_path << "\n";
+      std::cout << "wrote run record to " << cli.record_path << "\n";
     }
-    if (!digest_path.empty()) write_digest(digest_path, out.record, out.result);
+    if (!cli.digest_path.empty()) {
+      write_digest(cli.digest_path, out.record, out.result);
+    }
   } else if (sub == "replay") {
-    if (record_path.empty()) engine_usage("replay requires --record FILE");
-    std::ifstream is(record_path);
+    if (cli.record_path.empty()) engine_usage("replay requires --record FILE");
+    std::ifstream is(cli.record_path);
     if (!is) {
-      std::cerr << "error: cannot read record " << record_path << "\n";
+      std::cerr << "error: cannot read record " << cli.record_path << "\n";
       return 1;
     }
-    const sor::engine::EngineRunRecord record = sor::engine::load_record(is);
+    sor::engine::EngineRunRecord record = sor::engine::load_record(is);
+    // The SLO config rides the command line, not the record (it is not a
+    // replay-record field), so a replay can be re-checked under new
+    // bounds.
+    record.config.engine.slo = cli.config.engine.slo;
     const sor::engine::ControlLoopResult result =
         sor::engine::replay_record(record);
     print_engine_result(record, result);
-    if (!digest_path.empty()) write_digest(digest_path, record, result);
+    print_breaches(result.breaches);
+    health_status = result.health_status;
+    if (!cli.digest_path.empty()) write_digest(cli.digest_path, record, result);
   } else {
     engine_usage(("unknown engine subcommand " + sub).c_str());
   }
-  if (trace_spans) {
+  if (cli.trace_spans) {
     std::cout << "\nspan timings:\n" << sor::telemetry::span_tree_text();
   }
-  if (!trace_out.empty() && !write_trace_out(trace_out)) return 1;
-  return 0;
+  if (!cli.trace_out.empty() && !write_trace_out(cli.trace_out)) return 1;
+  if (!cli.prom_out.empty() && !write_prom_out(cli.prom_out)) return 1;
+  // With an SLO config in force the run is a health check: exit nonzero
+  // on any breach (0 or absent config keeps the old exit semantics).
+  return health_status;
+}
+
+/// `sor_cli monitor` — a live engine run: the standard control loop with
+/// one health row printed per epoch as it completes, so an operator
+/// watches congestion, solve-latency quantiles, and breaches in flight
+/// instead of post-hoc. Exits with the run's health status.
+int monitor_main(int argc, char** argv) {
+  EngineCli cli = parse_engine_flags(argc, argv, 2);
+  if (cli.config.k == 0) engine_usage("--k must be positive");
+  if (cli.config.trace.num_epochs == 0) {
+    engine_usage("--epochs must be positive");
+  }
+  if (!cli.trace_out.empty()) enable_timeline_capture();
+
+  std::ofstream jsonl;
+  if (!cli.health_jsonl.empty()) {
+    jsonl.open(cli.health_jsonl, std::ios::app);
+    if (!jsonl) {
+      std::cerr << "error: cannot write health JSONL to " << cli.health_jsonl
+                << "\n";
+      return 2;
+    }
+  }
+
+  using sor::telemetry::format_seconds;
+  std::cout << std::left << std::setw(7) << "epoch" << std::right
+            << std::setw(11) << "congestion" << std::setw(11) << "watermark"
+            << std::setw(11) << "p50" << std::setw(11) << "p95"
+            << std::setw(11) << "p99" << std::setw(10) << "cache"
+            << std::setw(9) << "dropped" << std::setw(9) << "breach"
+            << "\n";
+  const auto on_epoch = [&](const sor::engine::EpochReport& r) {
+    const sor::engine::EpochHealth& h = r.health;
+    std::cout << std::left << std::setw(7) << r.epoch << std::right
+              << std::setw(11) << sor::Table::fmt(r.congestion, 4)
+              << std::setw(11) << sor::Table::fmt(h.congestion_watermark, 4)
+              << std::setw(11) << format_seconds(h.solve_p50_ms / 1e3)
+              << std::setw(11) << format_seconds(h.solve_p95_ms / 1e3)
+              << std::setw(11) << format_seconds(h.solve_p99_ms / 1e3)
+              << std::setw(10)
+              << (h.cache_hit_rate < 0 ? std::string("-")
+                                       : sor::Table::fmt(h.cache_hit_rate, 2))
+              << std::setw(9) << h.recorder_dropped << std::setw(9)
+              << h.breaches << "\n";
+    std::cout.flush();
+    if (jsonl.is_open()) {
+      jsonl << sor::telemetry::epoch_health_json(r.epoch).dump(0) << "\n";
+      jsonl.flush();
+    }
+  };
+
+  const sor::engine::EngineRunOutput out =
+      sor::engine::run_from_config(cli.config, on_epoch);
+  std::cout << "epochs: " << out.result.epochs.size()
+            << ", congestion p50/p95/max: "
+            << out.result.congestion_summary.p50 << " / "
+            << out.result.congestion_summary.p95 << " / "
+            << out.result.congestion_summary.max << "\n";
+  print_breaches(out.result.breaches);
+  std::cout << "health: "
+            << (out.result.health_status == 0 ? "OK" : "BREACHED") << "\n";
+  if (jsonl.is_open()) {
+    std::cout << "wrote per-epoch health JSONL to " << cli.health_jsonl
+              << "\n";
+  }
+  if (cli.trace_spans) {
+    std::cout << "\nspan timings:\n" << sor::telemetry::span_tree_text();
+  }
+  if (!cli.trace_out.empty() && !write_trace_out(cli.trace_out)) return 1;
+  if (!cli.prom_out.empty() && !write_prom_out(cli.prom_out)) return 1;
+  return out.result.health_status;
+}
+
+/// `sor_cli slo` — offline SLO check of a BENCH_*.json artifact: reports
+/// the breaches the run recorded, then (with --slo-config) re-evaluates
+/// the bounds against the artifact's health block. Exits nonzero on any
+/// violation — the CI gate the bench fixture chain drives.
+int slo_main(int argc, char** argv) {
+  std::string artifact_path;
+  std::string slo_config_path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--slo-config") {
+      if (i + 1 >= argc) {
+        std::cerr << "error: missing value for --slo-config\n";
+        return 2;
+      }
+      slo_config_path = argv[++i];
+    } else if (artifact_path.empty()) {
+      artifact_path = flag;
+    } else {
+      std::cerr << "usage: sor_cli slo BENCH_x.json [--slo-config FILE]\n";
+      return 2;
+    }
+  }
+  if (artifact_path.empty()) {
+    std::cerr << "usage: sor_cli slo BENCH_x.json [--slo-config FILE]\n";
+    return 2;
+  }
+  const auto doc = load_json(artifact_path);
+  if (!doc) return 2;
+
+  sor::telemetry::SloConfig config;
+  if (!slo_config_path.empty()) {
+    try {
+      config = sor::telemetry::load_slo_config(slo_config_path);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 2;
+    }
+  }
+  sor::telemetry::ArtifactSloReport report;
+  try {
+    report = sor::telemetry::evaluate_artifact_slo(*doc, config);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+
+  const auto print_list =
+      [](const char* label,
+         const std::vector<sor::telemetry::SloBreach>& breaches) {
+        std::cout << label << ": " << breaches.size() << " breach(es)\n";
+        for (const sor::telemetry::SloBreach& b : breaches) {
+          std::cout << "  epoch " << b.epoch << "  " << std::left
+                    << std::setw(18) << b.slo << std::right << "  observed "
+                    << sor::telemetry::format_quantity(b.value)
+                    << "  budget "
+                    << sor::telemetry::format_quantity(b.budget) << "\n";
+        }
+      };
+  print_list("recorded at run time", report.recorded);
+  if (config.any_set()) {
+    print_list("re-evaluated vs --slo-config", report.evaluated);
+  }
+  std::cout << "slo: " << (report.status == 0 ? "OK" : "VIOLATED") << "\n";
+  return report.status;
 }
 
 }  // namespace
@@ -438,6 +673,12 @@ int engine_main(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "engine") == 0) {
     return engine_main(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "monitor") == 0) {
+    return monitor_main(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "slo") == 0) {
+    return slo_main(argc, argv);
   }
   if (argc >= 2 && std::strcmp(argv[1], "report") == 0) {
     return report_main(argc, argv);

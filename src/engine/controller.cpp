@@ -4,6 +4,7 @@
 #include <cmath>
 #include <optional>
 
+#include "telemetry/metrics.hpp"
 #include "telemetry/observer.hpp"
 #include "telemetry/recorder.hpp"
 #include "telemetry/span.hpp"
@@ -19,7 +20,8 @@ EpochController::EpochController(const Graph& g, const PathSystem& system,
       options_(options),
       repairer_(g, system, options.repair),
       predictor_(make_predictor(options.predictor, options.ewma_alpha,
-                                options.peak_window)) {
+                                options.peak_window)),
+      slo_(options.slo) {
   SOR_CHECK(options.epsilon > 0 && options.epsilon < 1);
 }
 
@@ -211,6 +213,12 @@ EpochReport EpochController::step(std::span<const Event> events,
       if (!accepted) solution = solve_restricted_exact(problem);
     }
     report.solve_ms = clock.milliseconds();
+    // Latency sketches: the controller-local one feeds this epoch's
+    // health snapshot; the global one feeds the exporters (Prometheus,
+    // artifact health block).
+    const double solve_seconds = report.solve_ms / 1e3;
+    solve_sketch_.observe(solve_seconds);
+    SOR_SKETCH("engine/solve_seconds").observe(solve_seconds);
     if (have_warm) {
       // Dual-bound gap of the solution actually installed: 0-ish when the
       // warm split was accepted as-is, larger when the accept test failed
@@ -266,15 +274,43 @@ EpochReport EpochController::step(std::span<const Event> events,
        {"churn", static_cast<std::uint64_t>(report.repair.churn())},
        {"solve_ms", report.solve_ms}});
 
+  // Runtime health: feed the windowed series and sketches, close this
+  // epoch's window, snapshot the figures into the report, and check the
+  // SLOs. report.congestion is deterministic, so the congestion sketch
+  // and watermark are too; the latency figures are wall clock and stay
+  // out of the replay digest.
+  SOR_SKETCH("engine/congestion").observe(report.congestion);
+  SOR_WINDOW_GAUGE("engine/congestion").set(report.congestion);
+  SOR_RATE("engine/epochs").add();
+  SOR_RATE("engine/churn").add(report.repair.churn());
+  telemetry::HealthRegistry::global().roll_epoch(report.epoch);
+
+  congestion_watermark_ = std::max(congestion_watermark_, report.congestion);
+  const StatsSummary solve_summary = solve_sketch_.summary();
+  report.health.solve_p50_ms = solve_summary.p50 * 1e3;
+  report.health.solve_p95_ms = solve_summary.p95 * 1e3;
+  report.health.solve_p99_ms = solve_summary.p99 * 1e3;
+  report.health.congestion_watermark = congestion_watermark_;
+  report.health.cache_hit_rate = telemetry::cache_hit_rate();
+  report.health.recorder_dropped = telemetry::Recorder::global().dropped();
+  if (slo_.active()) {
+    const std::vector<telemetry::SloBreach> epoch_breaches = slo_.check_epoch(
+        report.epoch, report.congestion, report.health.solve_p99_ms,
+        report.health.cache_hit_rate);
+    report.health.breaches = epoch_breaches.size();
+    breaches_.insert(breaches_.end(), epoch_breaches.begin(),
+                     epoch_breaches.end());
+  }
+
   predictor_->observe(realized);
   return report;
 }
 
-ControlLoopResult run_control_loop(const Graph& g, const PathSystem& system,
-                                   const EventTrace& trace,
-                                   const DemandStreamOptions& stream_options,
-                                   const EngineOptions& options,
-                                   std::uint64_t seed) {
+ControlLoopResult run_control_loop(
+    const Graph& g, const PathSystem& system, const EventTrace& trace,
+    const DemandStreamOptions& stream_options, const EngineOptions& options,
+    std::uint64_t seed,
+    const std::function<void(const EpochReport&)>& on_epoch) {
   SOR_SPAN("engine/control_loop");
   // Disjoint sub-seeds for the demand stream (the trace generator used
   // `seed` directly; replay must not re-correlate them).
@@ -299,10 +335,13 @@ ControlLoopResult run_control_loop(const Graph& g, const PathSystem& system,
     result.warm_accepts += report.warm_accepted ? 1 : 0;
     result.total_churn += report.repair.churn();
     congestions.push_back(report.congestion);
+    if (on_epoch) on_epoch(report);
     result.epochs.push_back(std::move(report));
   }
   result.congestion_summary = summarize(congestions);
   result.prediction_error_summary = controller.prediction_errors();
+  result.breaches = controller.breaches();
+  result.health_status = controller.health_status();
   return result;
 }
 

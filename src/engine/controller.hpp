@@ -19,6 +19,7 @@
 // makes trace replay (engine/replay) byte-identical.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <unordered_map>
@@ -29,6 +30,8 @@
 #include "engine/predictor.hpp"
 #include "engine/repair.hpp"
 #include "lp/path_lp.hpp"
+#include "telemetry/sketch.hpp"
+#include "telemetry/slo.hpp"
 
 namespace sor::engine {
 
@@ -53,6 +56,31 @@ struct EngineOptions {
   /// Deliberately NOT part of the replay record format: truncation points
   /// depend on wall clock, so budgeted runs are not byte-replayable.
   double solve_deadline_ms = 0;
+  /// Health bounds checked at every epoch boundary (telemetry/slo.hpp);
+  /// the default config has every bound disabled. Like solve_deadline_ms
+  /// this is NOT part of the replay record: the latency SLO reads
+  /// wall-clock sketches, so breach sets are not byte-replayable and the
+  /// replay digest excludes all health fields.
+  telemetry::SloConfig slo;
+};
+
+/// Per-epoch health snapshot: the run-so-far solve-latency quantiles
+/// (from the controller's own sketch), the congestion high-watermark,
+/// cache hit rate, and recorder drop count at the epoch boundary. All
+/// wall-clock-derived or global-state-derived — excluded from the replay
+/// digest.
+struct EpochHealth {
+  double solve_p50_ms = 0;
+  double solve_p95_ms = 0;
+  double solve_p99_ms = 0;
+  /// Max realized congestion over the epochs run so far.
+  double congestion_watermark = 0;
+  /// Artifact-cache hit rate; -1 when there was no cache traffic.
+  double cache_hit_rate = -1;
+  /// Flight-recorder events evicted by the ring bound so far.
+  std::uint64_t recorder_dropped = 0;
+  /// SLO breaches detected at this epoch's boundary.
+  std::size_t breaches = 0;
 };
 
 struct EpochReport {
@@ -77,9 +105,11 @@ struct EpochReport {
   /// and the installed split is the solver's documented fallback.
   bool truncated = false;
   RepairReport repair;
-  /// Wall clock of the LP solve — the only nondeterministic field; the
-  /// replay digest excludes it.
+  /// Wall clock of the LP solve — nondeterministic; the replay digest
+  /// excludes it.
   double solve_ms = 0;
+  /// Runtime health at this epoch's boundary (also digest-excluded).
+  EpochHealth health;
 };
 
 class EpochController {
@@ -96,6 +126,12 @@ class EpochController {
   const PathRepairer& repairer() const { return repairer_; }
   StatsSummary prediction_errors() const { return predictor_->error_summary(); }
   std::size_t epochs_run() const { return epoch_; }
+  /// Every SLO breach detected so far (empty when options.slo is unset).
+  const std::vector<telemetry::SloBreach>& breaches() const {
+    return breaches_;
+  }
+  /// 0 while every epoch held the configured SLOs, 1 after any breach.
+  int health_status() const { return breaches_.empty() ? 0 : 1; }
 
  private:
   RestrictedProblem build_problem(const Demand& demand) const;
@@ -127,6 +163,13 @@ class EpochController {
                      VertexPairHash>
       installed_;
   std::vector<double> warm_lengths_;
+  /// Controller-local solve-latency sketch: per-run quantiles for the
+  /// EpochReport health snapshot (the global "engine/solve_seconds"
+  /// sketch accumulates across runs and feeds the exporters).
+  telemetry::Sketch solve_sketch_;
+  double congestion_watermark_ = 0;
+  telemetry::SloTracker slo_;
+  std::vector<telemetry::SloBreach> breaches_;
 };
 
 struct ControlLoopResult {
@@ -136,15 +179,22 @@ struct ControlLoopResult {
   std::size_t total_churn = 0;
   StatsSummary congestion_summary;
   StatsSummary prediction_error_summary;
+  /// SLO breaches across the run (empty when options.slo is unset) and
+  /// the resulting health status (0 healthy, 1 breached). Digest-excluded
+  /// like every other wall-clock-derived field.
+  std::vector<telemetry::SloBreach> breaches;
+  int health_status = 0;
 };
 
 /// Drives a controller over a full trace: realized matrices from the
 /// demand stream (drift events applied as they fire), repair/solve per
-/// epoch. Deterministic in (g, system, trace, options, seed).
-ControlLoopResult run_control_loop(const Graph& g, const PathSystem& system,
-                                   const EventTrace& trace,
-                                   const DemandStreamOptions& stream_options,
-                                   const EngineOptions& options,
-                                   std::uint64_t seed);
+/// epoch. Deterministic in (g, system, trace, options, seed). `on_epoch`,
+/// when set, fires after each epoch completes — the live `sor_cli
+/// monitor` hook; it observes reports but cannot change the run.
+ControlLoopResult run_control_loop(
+    const Graph& g, const PathSystem& system, const EventTrace& trace,
+    const DemandStreamOptions& stream_options, const EngineOptions& options,
+    std::uint64_t seed,
+    const std::function<void(const EpochReport&)>& on_epoch = {});
 
 }  // namespace sor::engine

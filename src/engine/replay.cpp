@@ -63,22 +63,26 @@ PathSystem build_path_system(const Graph& g, const EngineRunConfig& config) {
   return PathSystem{};
 }
 
-EngineRunOutput run_from_config(const EngineRunConfig& config) {
+EngineRunOutput run_from_config(
+    const EngineRunConfig& config,
+    const std::function<void(const EpochReport&)>& on_epoch) {
   EngineRunOutput out;
   out.record.config = config;
   const Graph g = build_topology(config.topology);
   const PathSystem system = build_path_system(g, config);
   out.record.trace = generate_trace(g, config.trace, config.seed);
   out.result = run_control_loop(g, system, out.record.trace, config.stream,
-                                config.engine, config.seed);
+                                config.engine, config.seed, on_epoch);
   return out;
 }
 
-ControlLoopResult replay_record(const EngineRunRecord& record) {
+ControlLoopResult replay_record(
+    const EngineRunRecord& record,
+    const std::function<void(const EpochReport&)>& on_epoch) {
   const Graph g = build_topology(record.config.topology);
   const PathSystem system = build_path_system(g, record.config);
   return run_control_loop(g, system, record.trace, record.config.stream,
-                          record.config.engine, record.config.seed);
+                          record.config.engine, record.config.seed, on_epoch);
 }
 
 void save_record(const EngineRunRecord& record, std::ostream& os) {

@@ -10,6 +10,7 @@
 // original byte for byte. The digest is the comparable artifact: every
 // deterministic field of every epoch, and none of the wall-clock ones.
 
+#include <functional>
 #include <iosfwd>
 #include <string>
 
@@ -57,11 +58,17 @@ struct EngineRunOutput {
 };
 
 /// Full run from scratch: topology, path system, generated trace, loop.
-EngineRunOutput run_from_config(const EngineRunConfig& config);
+/// `on_epoch` is forwarded to run_control_loop (the `sor_cli monitor`
+/// live hook); it observes reports but cannot change the run.
+EngineRunOutput run_from_config(
+    const EngineRunConfig& config,
+    const std::function<void(const EpochReport&)>& on_epoch = {});
 
 /// Re-runs a recorded trace; per-epoch results are byte-identical to the
 /// original run (modulo solve_ms).
-ControlLoopResult replay_record(const EngineRunRecord& record);
+ControlLoopResult replay_record(
+    const EngineRunRecord& record,
+    const std::function<void(const EpochReport&)>& on_epoch = {});
 
 /// Record serialization (versioned text; exact double round-trip).
 void save_record(const EngineRunRecord& record, std::ostream& os);

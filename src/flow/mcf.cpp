@@ -6,6 +6,7 @@
 #include <map>
 
 #include "graph/search.hpp"
+#include "telemetry/metrics.hpp"
 #include "telemetry/observer.hpp"
 #include "telemetry/span.hpp"
 #include "telemetry/telemetry.hpp"
@@ -54,6 +55,7 @@ McfResult min_congestion_routing(const Graph& g,
                                  const McfOptions& options) {
   SOR_SPAN("mcf/solve");
   SOR_COST_SCOPE("mcf");
+  telemetry::SketchTimer latency(SOR_SKETCH("mcf/solve_seconds"));
   SOR_COUNTER("mcf/solves").add();
   SOR_CHECK(options.epsilon > 0 && options.epsilon < 1);
   for (const Commodity& c : commodities) {

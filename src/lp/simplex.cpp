@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "telemetry/metrics.hpp"
 #include "telemetry/observer.hpp"
 #include "telemetry/span.hpp"
 #include "telemetry/telemetry.hpp"
@@ -205,6 +206,7 @@ class Tableau {
 LpSolution solve_lp(const LpProblem& problem, std::size_t max_iterations) {
   SOR_SPAN("lp/simplex");
   SOR_COST_SCOPE("simplex");
+  telemetry::SketchTimer latency(SOR_SKETCH("lp/simplex_seconds"));
   SOR_COUNTER("simplex/solves").add();
   const std::size_t n = problem.objective.size();
   const std::size_t m = problem.constraints.size();

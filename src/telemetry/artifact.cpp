@@ -112,6 +112,37 @@ std::map<std::string, double> cost_seconds(const JsonValue& doc) {
   return out;
 }
 
+/// Health sketches named "*_seconds" hold latencies; everything else
+/// (congestion, counts) is a plain quantity. Drives format/threshold
+/// selection for both the report and the diff.
+bool is_seconds_sketch(const std::string& name) {
+  constexpr const char* kSuffix = "_seconds";
+  constexpr std::size_t kLen = 8;
+  return name.size() >= kLen &&
+         name.compare(name.size() - kLen, kLen, kSuffix) == 0;
+}
+
+/// health.sketches flattened to "<name>:<quantile>" → value, for the
+/// diff. Only the stable summary fields — bucket arrays are layout, not
+/// signal.
+std::map<std::string, double> health_sketch_stats(const JsonValue& doc) {
+  std::map<std::string, double> out;
+  if (!doc.has("health") || !doc.at("health").is_object()) return out;
+  const JsonValue& health = doc.at("health");
+  if (!health.has("sketches") || !health.at("sketches").is_object()) {
+    return out;
+  }
+  for (const auto& [name, sketch] : health.at("sketches").members()) {
+    if (!sketch.is_object()) continue;
+    for (const char* field : {"p50", "p99", "max"}) {
+      if (sketch.has(field) && sketch.at(field).is_number()) {
+        out[name + ":" + field] = sketch.at(field).as_number();
+      }
+    }
+  }
+  return out;
+}
+
 std::map<std::string, double> congestion_gauges(const JsonValue& doc) {
   std::map<std::string, double> out;
   if (!doc.has("telemetry")) return out;
@@ -193,6 +224,19 @@ void collect(const JsonValue& before, const JsonValue& after,
       after.at("wall_seconds").is_number()) {
     out.push_back({"wall_seconds", before.at("wall_seconds").as_number(),
                    after.at("wall_seconds").as_number(), true});
+  }
+
+  // Health sketch quantiles (schema v5): latency sketches diff as
+  // time-like (span threshold + noise floor), congestion/count sketches
+  // as quantities.
+  const auto health_a = health_sketch_stats(before);
+  const auto health_b = health_sketch_stats(after);
+  for (const auto& [stat, value] : health_a) {
+    const auto it = health_b.find(stat);
+    if (it == health_b.end()) continue;
+    const std::string sketch_name = stat.substr(0, stat.rfind(':'));
+    out.push_back(
+        {"health:" + stat, value, it->second, is_seconds_sketch(sketch_name)});
   }
 
   // E16 control-loop block: per-mode peak congestion and solve time.
@@ -392,6 +436,70 @@ void render_attribution(const JsonValue& doc, std::ostream& os) {
   }
 }
 
+/// Schema-v5 health block: sketch quantile table, watermarks, and the
+/// SLO breach list. Latency sketches render with format_seconds, the
+/// rest with format_quantity (satellite of the runtime health layer).
+void render_health(const JsonValue& doc, std::ostream& os) {
+  if (!doc.has("health") || !doc.at("health").is_object()) return;
+  const JsonValue& health = doc.at("health");
+  if (health.has("enabled") && health.at("enabled").is_bool() &&
+      !health.at("enabled").as_bool()) {
+    os << "health: telemetry disabled\n";
+    return;
+  }
+  os << "health: ";
+  const bool breached = health.has("status") &&
+                        health.at("status").is_number() &&
+                        health.at("status").as_number() != 0;
+  os << (breached ? "BREACHED" : "OK");
+  if (health.has("epochs_rolled")) {
+    os << ", " << number_text(health.at("epochs_rolled")) << " epoch(s)";
+  }
+  if (health.has("recorder") && health.at("recorder").is_object() &&
+      health.at("recorder").has("dropped")) {
+    os << ", " << number_text(health.at("recorder").at("dropped"))
+       << " recorder drop(s)";
+  }
+  os << "\n";
+  if (health.has("sketches") && health.at("sketches").is_object() &&
+      health.at("sketches").members().size() > 0) {
+    os << "  " << std::left << std::setw(28) << "sketch" << std::right
+       << std::setw(10) << "count" << std::setw(12) << "p50" << std::setw(12)
+       << "p95" << std::setw(12) << "p99" << std::setw(12) << "max" << "\n";
+    for (const auto& [name, sketch] : health.at("sketches").members()) {
+      if (!sketch.is_object()) continue;
+      const bool seconds = is_seconds_sketch(name);
+      const auto fmt = [&](const char* field) -> std::string {
+        if (!sketch.has(field) || !sketch.at(field).is_number()) return "-";
+        const double v = sketch.at(field).as_number();
+        return seconds ? format_seconds(v) : format_quantity(v);
+      };
+      os << "  " << std::left << std::setw(28) << name << std::right
+         << std::setw(10)
+         << (sketch.has("count") ? number_text(sketch.at("count")) : "-")
+         << std::setw(12) << fmt("p50") << std::setw(12) << fmt("p95")
+         << std::setw(12) << fmt("p99") << std::setw(12) << fmt("max")
+         << "\n";
+    }
+  }
+  if (health.has("breaches") && health.at("breaches").is_array() &&
+      health.at("breaches").size() > 0) {
+    const JsonValue& breaches = health.at("breaches");
+    os << "  SLO breaches (" << breaches.size() << "):\n";
+    const std::size_t top = std::min<std::size_t>(breaches.size(), 8);
+    for (std::size_t i = 0; i < top; ++i) {
+      const JsonValue& b = breaches.at(i);
+      os << "    epoch " << number_text(b.at("epoch")) << "  "
+         << b.at("slo").as_string() << "  observed "
+         << format_quantity(b.at("value").as_number()) << "  budget "
+         << format_quantity(b.at("budget").as_number()) << "\n";
+    }
+    if (breaches.size() > top) {
+      os << "    ... " << breaches.size() - top << " more\n";
+    }
+  }
+}
+
 void render_events(const JsonValue& doc, std::ostream& os) {
   if (!doc.has("events") || !doc.at("events").is_object()) return;
   const JsonValue& block = doc.at("events");
@@ -451,6 +559,7 @@ void render_artifact_report(const JsonValue& doc, std::ostream& os) {
     os << "\n";
   }
   render_top_spans(doc, os);
+  render_health(doc, os);
   render_attribution(doc, os);
   render_events(doc, os);
 }

@@ -1,0 +1,355 @@
+#include "telemetry/metrics.hpp"
+
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+#include "telemetry/recorder.hpp"
+
+namespace sor::telemetry {
+
+HealthRegistry& HealthRegistry::global() {
+  static HealthRegistry* registry = new HealthRegistry();  // never destroyed,
+  return *registry;  // same lifetime policy as telemetry::Registry
+}
+
+WindowedRate& HealthRegistry::rate(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = rates_.find(name);
+  if (it == rates_.end()) {
+    it = rates_.emplace(std::string(name), RateEntry{}).first;
+  }
+  return *it->second.metric;
+}
+
+WindowedGauge& HealthRegistry::window_gauge(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), GaugeEntry{}).first;
+  }
+  return *it->second.metric;
+}
+
+Sketch& HealthRegistry::sketch(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = sketches_.find(name);
+  if (it == sketches_.end()) {
+    it = sketches_.emplace(std::string(name), std::make_unique<Sketch>())
+             .first;
+  }
+  return *it->second;
+}
+
+namespace {
+
+void bound_window(std::vector<WindowPoint>& window) {
+  if (window.size() > HealthRegistry::kWindowCapacity) {
+    window.erase(window.begin(),
+                 window.end() - HealthRegistry::kWindowCapacity);
+  }
+}
+
+}  // namespace
+
+void HealthRegistry::roll_epoch(std::uint64_t epoch) {
+  if (!enabled()) return;
+  std::lock_guard lock(mu_);
+  for (auto& [name, entry] : rates_) {
+    const std::uint64_t total = entry.metric->total();
+    const std::uint64_t delta = total - entry.last_mark;
+    entry.last_mark = total;
+    entry.window.push_back({epoch, static_cast<double>(delta)});
+    bound_window(entry.window);
+  }
+  for (auto& [name, entry] : gauges_) {
+    entry.window.push_back({epoch, entry.metric->value()});
+    bound_window(entry.window);
+  }
+  ++epochs_rolled_;
+}
+
+std::uint64_t HealthRegistry::epochs_rolled() const {
+  std::lock_guard lock(mu_);
+  return epochs_rolled_;
+}
+
+std::vector<std::pair<std::string, SketchSnapshot>> HealthRegistry::sketches()
+    const {
+  std::lock_guard lock(mu_);
+  std::vector<std::pair<std::string, SketchSnapshot>> out;
+  out.reserve(sketches_.size());
+  for (const auto& [name, sketch] : sketches_) {
+    out.emplace_back(name, sketch->snapshot());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::vector<WindowPoint>>>
+HealthRegistry::rate_windows() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::pair<std::string, std::vector<WindowPoint>>> out;
+  out.reserve(rates_.size());
+  for (const auto& [name, entry] : rates_) {
+    out.emplace_back(name, entry.window);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::vector<WindowPoint>>>
+HealthRegistry::gauge_windows() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::pair<std::string, std::vector<WindowPoint>>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, entry] : gauges_) {
+    out.emplace_back(name, entry.window);
+  }
+  return out;
+}
+
+void HealthRegistry::record_breach(const SloBreach& breach) {
+  if (!enabled()) return;
+  std::lock_guard lock(mu_);
+  breaches_.push_back(breach);
+}
+
+std::vector<SloBreach> HealthRegistry::breaches() const {
+  std::lock_guard lock(mu_);
+  return breaches_;
+}
+
+int HealthRegistry::health_status() const {
+  std::lock_guard lock(mu_);
+  return breaches_.empty() ? 0 : 1;
+}
+
+void HealthRegistry::reset() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, entry] : rates_) {
+    entry.metric->reset();
+    entry.last_mark = 0;
+    entry.window.clear();
+  }
+  for (auto& [name, entry] : gauges_) {
+    entry.metric->reset();
+    entry.window.clear();
+  }
+  for (auto& [name, sketch] : sketches_) sketch->reset();
+  epochs_rolled_ = 0;
+  breaches_.clear();
+}
+
+double cache_hit_rate() {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  for (const auto& [name, value] : Registry::global().counters()) {
+    if (name == "cache/hits" || name == "cache/disk_hits") {
+      hits += value;
+    } else if (name == "cache/misses") {
+      misses += value;
+    }
+  }
+  const std::uint64_t total = hits + misses;
+  if (total == 0) return -1.0;
+  return static_cast<double>(hits) / static_cast<double>(total);
+}
+
+namespace {
+
+JsonValue sketch_json(const SketchSnapshot& snap) {
+  JsonValue s = JsonValue::object();
+  const StatsSummary summary = Sketch::summarize_snapshot(snap);
+  s.set("count", static_cast<std::uint64_t>(snap.count));
+  s.set("sum", snap.sum);
+  s.set("min", snap.min);
+  s.set("max", snap.max);
+  s.set("p50", summary.p50);
+  s.set("p95", summary.p95);
+  s.set("p99", summary.p99);
+  JsonValue buckets = JsonValue::array();
+  for (const auto& [index, count] : snap.buckets) {
+    JsonValue pair = JsonValue::array();
+    pair.push(static_cast<std::uint64_t>(index));
+    pair.push(static_cast<std::uint64_t>(count));
+    buckets.push(std::move(pair));
+  }
+  s.set("buckets", std::move(buckets));
+  return s;
+}
+
+JsonValue window_json(const std::vector<WindowPoint>& window) {
+  JsonValue out = JsonValue::array();
+  for (const WindowPoint& point : window) {
+    JsonValue pair = JsonValue::array();
+    pair.push(static_cast<std::uint64_t>(point.epoch));
+    pair.push(point.value);
+    out.push(std::move(pair));
+  }
+  return out;
+}
+
+JsonValue breach_json(const SloBreach& breach) {
+  JsonValue b = JsonValue::object();
+  b.set("slo", breach.slo);
+  b.set("epoch", static_cast<std::uint64_t>(breach.epoch));
+  b.set("value", breach.value);
+  b.set("budget", breach.budget);
+  return b;
+}
+
+}  // namespace
+
+JsonValue health_to_json() {
+  HealthRegistry& health = HealthRegistry::global();
+  JsonValue doc = JsonValue::object();
+  doc.set("enabled", enabled());
+  doc.set("epochs_rolled", health.epochs_rolled());
+
+  JsonValue recorder = JsonValue::object();
+  recorder.set("recorded", Recorder::global().recorded());
+  recorder.set("dropped", Recorder::global().dropped());
+  doc.set("recorder", std::move(recorder));
+
+  JsonValue sketches = JsonValue::object();
+  JsonValue watermarks = JsonValue::object();
+  for (const auto& [name, snap] : health.sketches()) {
+    sketches.set(name, sketch_json(snap));
+    watermarks.set(name, snap.max);
+  }
+  doc.set("sketches", std::move(sketches));
+  doc.set("watermarks", std::move(watermarks));
+
+  JsonValue rates = JsonValue::object();
+  for (const auto& [name, window] : health.rate_windows()) {
+    rates.set(name, window_json(window));
+  }
+  doc.set("rates", std::move(rates));
+
+  JsonValue gauges = JsonValue::object();
+  for (const auto& [name, window] : health.gauge_windows()) {
+    gauges.set(name, window_json(window));
+  }
+  doc.set("gauges", std::move(gauges));
+
+  JsonValue breaches = JsonValue::array();
+  for (const SloBreach& breach : health.breaches()) {
+    breaches.push(breach_json(breach));
+  }
+  doc.set("breaches", std::move(breaches));
+  doc.set("status", health.health_status());
+  return doc;
+}
+
+JsonValue epoch_health_json(std::uint64_t epoch) {
+  HealthRegistry& health = HealthRegistry::global();
+  JsonValue doc = JsonValue::object();
+  doc.set("epoch", static_cast<std::uint64_t>(epoch));
+
+  const auto at_epoch = [epoch](const std::vector<WindowPoint>& window,
+                                double& out) {
+    for (auto it = window.rbegin(); it != window.rend(); ++it) {
+      if (it->epoch == epoch) {
+        out = it->value;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  JsonValue rates = JsonValue::object();
+  for (const auto& [name, window] : health.rate_windows()) {
+    double value = 0;
+    if (at_epoch(window, value)) rates.set(name, value);
+  }
+  doc.set("rates", std::move(rates));
+
+  JsonValue gauges = JsonValue::object();
+  for (const auto& [name, window] : health.gauge_windows()) {
+    double value = 0;
+    if (at_epoch(window, value)) gauges.set(name, value);
+  }
+  doc.set("gauges", std::move(gauges));
+
+  JsonValue sketches = JsonValue::object();
+  for (const auto& [name, snap] : health.sketches()) {
+    const StatsSummary s = Sketch::summarize_snapshot(snap);
+    JsonValue row = JsonValue::object();
+    row.set("count", static_cast<std::uint64_t>(s.count));
+    row.set("p50", s.p50);
+    row.set("p95", s.p95);
+    row.set("p99", s.p99);
+    row.set("max", s.max);
+    sketches.set(name, std::move(row));
+  }
+  doc.set("sketches", std::move(sketches));
+  return doc;
+}
+
+namespace {
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "sor_";
+  for (const char c : name) {
+    const auto u = static_cast<unsigned char>(c);
+    out.push_back(std::isalnum(u) != 0 || c == '_' || c == ':' ? c : '_');
+  }
+  return out;
+}
+
+void prometheus_value(std::ostream& os, double v) {
+  // Prometheus accepts NaN/+Inf/-Inf spelled out.
+  std::ostringstream text;
+  text.precision(17);
+  text << v;
+  os << text.str();
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& os) {
+  for (const auto& [name, value] : Registry::global().counters()) {
+    const std::string prom = prometheus_name(name);
+    os << "# TYPE " << prom << " counter\n" << prom << " " << value << "\n";
+  }
+  for (const auto& [name, value] : Registry::global().gauges()) {
+    const std::string prom = prometheus_name(name);
+    os << "# TYPE " << prom << " gauge\n" << prom << " ";
+    prometheus_value(os, value);
+    os << "\n";
+  }
+  HealthRegistry& health = HealthRegistry::global();
+  for (const auto& [name, window] : health.rate_windows()) {
+    const std::string prom = prometheus_name(name) + "_total";
+    os << "# TYPE " << prom << " counter\n"
+       << prom << " " << health.rate(name).total() << "\n";
+  }
+  for (const auto& [name, window] : health.gauge_windows()) {
+    const std::string prom = prometheus_name(name);
+    os << "# TYPE " << prom << " gauge\n" << prom << " ";
+    prometheus_value(os, health.window_gauge(name).value());
+    os << "\n";
+  }
+  for (const auto& [name, snap] : health.sketches()) {
+    const std::string prom = prometheus_name(name);
+    const StatsSummary s = Sketch::summarize_snapshot(snap);
+    os << "# TYPE " << prom << " summary\n";
+    const std::pair<const char*, double> quantiles[] = {
+        {"0.5", s.p50}, {"0.95", s.p95}, {"0.99", s.p99}};
+    for (const auto& [q, value] : quantiles) {
+      os << prom << "{quantile=\"" << q << "\"} ";
+      prometheus_value(os, value);
+      os << "\n";
+    }
+    os << prom << "_sum ";
+    prometheus_value(os, snap.sum);
+    os << "\n" << prom << "_count " << snap.count << "\n";
+  }
+}
+
+std::string prometheus_text() {
+  std::ostringstream os;
+  write_prometheus(os);
+  return os.str();
+}
+
+}  // namespace sor::telemetry

@@ -48,6 +48,9 @@ void Recorder::record(
     events_[head_] = std::move(event);
     head_ = (head_ + 1) % capacity_;
     ++dropped_;
+    // Overflow is no longer silent: the drop count is a first-class
+    // metric (and a field in the artifact health block).
+    SOR_COUNTER("recorder/dropped").add();
   }
   ++recorded_;
 }

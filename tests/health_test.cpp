@@ -1,0 +1,472 @@
+// Runtime health layer tests: quantile-sketch bucketing and quantiles,
+// the SOR_TELEMETRY kill switch over the HealthRegistry (no recording
+// when disabled), merge determinism of sharded sketches across thread
+// pool sizes (the PR 5 determinism contract extended to telemetry), SLO
+// tracker breach side effects (registry + flight recorder), offline
+// artifact SLO evaluation, and the Prometheus exposition format. The
+// concurrent-interning stress runs under SOR_SANITIZE=thread like every
+// other test.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "engine/replay.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/recorder.hpp"
+#include "telemetry/sketch.hpp"
+#include "telemetry/slo.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/check.hpp"
+#include "util/parallel.hpp"
+
+namespace sor {
+namespace {
+
+struct ScopedEnable {
+  explicit ScopedEnable(bool on = true) : previous(telemetry::enabled()) {
+    telemetry::set_enabled(on);
+  }
+  ~ScopedEnable() { telemetry::set_enabled(previous); }
+  bool previous;
+};
+
+/// Zeroes the process-wide health state so tests do not observe each
+/// other's metrics.
+void reset_health() {
+  telemetry::HealthRegistry::global().reset();
+  telemetry::Recorder::global().clear();
+}
+
+template <typename Fn>
+auto at_pool_sizes(Fn&& fn) {
+  std::vector<decltype(fn())> out;
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    ScopedDefaultPool scoped(workers);
+    out.push_back(fn());
+  }
+  return out;
+}
+
+TEST(Sketch, BucketIndexIsMonotoneAndBoundsContainValues) {
+  using telemetry::Sketch;
+  // Zero and negatives land in the dedicated bucket 0.
+  EXPECT_EQ(Sketch::bucket_index(0.0), 0u);
+  EXPECT_EQ(Sketch::bucket_index(-3.5), 0u);
+  EXPECT_EQ(Sketch::bucket_index(-std::numeric_limits<double>::infinity()),
+            0u);
+
+  std::size_t previous = 0;
+  for (double v = 1e-8; v < 1e6; v *= 1.37) {
+    const std::size_t index = Sketch::bucket_index(v);
+    EXPECT_GE(index, previous);  // monotone in the value
+    EXPECT_GT(index, 0u);
+    EXPECT_LT(index, Sketch::kNumBuckets);
+    // The representative is the bucket's lower bound: <= v, and within
+    // one sub-bucket's relative error (1/16 per octave).
+    const double lo = Sketch::bucket_lower_bound(index);
+    EXPECT_LE(lo, v);
+    EXPECT_GE(lo, v / (1.0 + 1.0 / 8.0));
+    previous = index;
+  }
+  // Out-of-range magnitudes clamp instead of indexing out of bounds.
+  EXPECT_EQ(Sketch::bucket_index(1e300), Sketch::kNumBuckets - 1);
+  EXPECT_GT(Sketch::bucket_index(1e-300), 0u);
+  EXPECT_LT(Sketch::bucket_index(1e-300), Sketch::kNumBuckets);
+}
+
+TEST(Sketch, QuantilesTrackNearestRankWithinBucketError) {
+  const ScopedEnable enable;
+  telemetry::Sketch sketch;
+  // 1..1000 in a scrambled (deterministic) order.
+  for (int i = 0; i < 1000; ++i) {
+    sketch.observe(static_cast<double>((i * 617) % 1000 + 1));
+  }
+  const telemetry::SketchSnapshot snap = sketch.snapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 1000.0);  // exact, not a bucket bound
+  // Bucket representatives are lower bounds within 1/16 relative error.
+  const double p50 = telemetry::sketch_quantile(snap, 0.50);
+  const double p99 = telemetry::sketch_quantile(snap, 0.99);
+  EXPECT_LE(p50, 500.5);
+  EXPECT_GE(p50, 500.5 / (1.0 + 1.0 / 8.0));
+  EXPECT_LE(p99, 991.0);
+  EXPECT_GE(p99, 991.0 / (1.0 + 1.0 / 8.0));
+  // summary() agrees with the free quantile function.
+  const StatsSummary summary = sketch.summary();
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(summary.p50),
+            std::bit_cast<std::uint64_t>(p50));
+}
+
+TEST(Sketch, KillSwitchMakesObserveANoop) {
+  const ScopedEnable disable(false);
+  telemetry::Sketch sketch;
+  sketch.observe(1.0);
+  sketch.observe(42.0);
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_EQ(sketch.snapshot().buckets.size(), 0u);
+}
+
+// Satellite 2: under SOR_TELEMETRY=off nothing in the health registry
+// records — rates, gauges, sketches, epoch rolls, and breach recording
+// are all no-ops (and the hot path takes no locks: the guard is the
+// same relaxed atomic-bool load the telemetry registry uses).
+TEST(HealthRegistry, KillSwitchDisablesAllRecording) {
+  reset_health();
+  const ScopedEnable disable(false);
+  auto& registry = telemetry::HealthRegistry::global();
+  registry.rate("test/off_rate").add(7);
+  registry.window_gauge("test/off_gauge").set(3.5);
+  registry.sketch("test/off_sketch").observe(1.0);
+  registry.roll_epoch(0);
+  registry.record_breach({"max_congestion", 0, 2.0, 1.0});
+
+  EXPECT_EQ(registry.rate("test/off_rate").total(), 0u);
+  EXPECT_DOUBLE_EQ(registry.window_gauge("test/off_gauge").value(), 0.0);
+  EXPECT_EQ(registry.sketch("test/off_sketch").count(), 0u);
+  EXPECT_EQ(registry.epochs_rolled(), 0u);
+  EXPECT_TRUE(registry.breaches().empty());
+  EXPECT_EQ(registry.health_status(), 0);
+}
+
+TEST(HealthRegistry, RollEpochClosesRateDeltasAndGaugeValues) {
+  reset_health();
+  const ScopedEnable enable;
+  auto& registry = telemetry::HealthRegistry::global();
+  auto& rate = registry.rate("test/window_rate");
+  auto& gauge = registry.window_gauge("test/window_gauge");
+
+  rate.add(3);
+  gauge.set(1.5);
+  registry.roll_epoch(0);
+  rate.add(5);
+  gauge.set(2.5);
+  registry.roll_epoch(1);
+
+  for (const auto& [name, window] : registry.rate_windows()) {
+    if (name != "test/window_rate") continue;
+    ASSERT_EQ(window.size(), 2u);
+    EXPECT_EQ(window[0].epoch, 0u);
+    EXPECT_DOUBLE_EQ(window[0].value, 3.0);  // delta, not running total
+    EXPECT_EQ(window[1].epoch, 1u);
+    EXPECT_DOUBLE_EQ(window[1].value, 5.0);
+  }
+  for (const auto& [name, window] : registry.gauge_windows()) {
+    if (name != "test/window_gauge") continue;
+    ASSERT_EQ(window.size(), 2u);
+    EXPECT_DOUBLE_EQ(window[0].value, 1.5);
+    EXPECT_DOUBLE_EQ(window[1].value, 2.5);
+  }
+  EXPECT_EQ(registry.epochs_rolled(), 2u);
+}
+
+// Satellite 3: a sharded observation stream merges to byte-identical
+// quantiles no matter how many workers observed the shards. The shard
+// structure is fixed (like parallel_reduce's chunking), only the pool
+// size varies.
+TEST(Sketch, MergeIsBitIdenticalAcrossThreadPoolSizes) {
+  const ScopedEnable enable;
+  constexpr std::size_t kShards = 16;
+  constexpr std::size_t kPerShard = 500;
+
+  struct Digest {
+    std::uint64_t count;
+    std::uint64_t p50, p95, p99, max;
+  };
+  const auto run = [&]() -> Digest {
+    std::vector<telemetry::Sketch> sketches(kShards);
+    parallel_for(kShards, [&](std::size_t s) {
+      for (std::size_t i = 0; i < kPerShard; ++i) {
+        const std::size_t k = s * kPerShard + i;
+        // Latency-like spread over ~6 orders of magnitude.
+        sketches[s].observe(1e-6 *
+                            std::pow(10.0, static_cast<double>(k % 6001) /
+                                               1000.0));
+      }
+    });
+    std::vector<telemetry::SketchSnapshot> parts;
+    parts.reserve(kShards);
+    for (const telemetry::Sketch& s : sketches) {
+      parts.push_back(s.snapshot());
+    }
+    const telemetry::SketchSnapshot merged =
+        telemetry::merge_sketch_snapshots(parts);
+    return {merged.count,
+            std::bit_cast<std::uint64_t>(telemetry::sketch_quantile(merged, 0.50)),
+            std::bit_cast<std::uint64_t>(telemetry::sketch_quantile(merged, 0.95)),
+            std::bit_cast<std::uint64_t>(telemetry::sketch_quantile(merged, 0.99)),
+            std::bit_cast<std::uint64_t>(merged.max)};
+  };
+
+  const auto digests = at_pool_sizes(run);
+  ASSERT_EQ(digests.size(), 3u);
+  for (std::size_t i = 1; i < digests.size(); ++i) {
+    EXPECT_EQ(digests[i].count, digests[0].count);
+    EXPECT_EQ(digests[i].p50, digests[0].p50);
+    EXPECT_EQ(digests[i].p95, digests[0].p95);
+    EXPECT_EQ(digests[i].p99, digests[0].p99);
+    EXPECT_EQ(digests[i].max, digests[0].max);
+  }
+  EXPECT_EQ(digests[0].count, kShards * kPerShard);
+}
+
+// A single sketch observed concurrently summarizes identically to the
+// same observations applied sequentially: bucket counts are commutative
+// atomic adds and min/max are commutative CAS-combines (sum is the
+// documented exception and is not compared).
+TEST(Sketch, ConcurrentObservationMatchesSequential) {
+  const ScopedEnable enable;
+  constexpr std::size_t kN = 20000;
+  const auto value = [](std::size_t i) {
+    return 1e-3 * static_cast<double>(i % 997 + 1);
+  };
+
+  telemetry::Sketch sequential;
+  for (std::size_t i = 0; i < kN; ++i) sequential.observe(value(i));
+
+  telemetry::Sketch concurrent;
+  parallel_for(kN, [&](std::size_t i) { concurrent.observe(value(i)); });
+
+  const auto a = sequential.snapshot();
+  const auto b = concurrent.snapshot();
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.buckets, b.buckets);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.min),
+            std::bit_cast<std::uint64_t>(b.min));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.max),
+            std::bit_cast<std::uint64_t>(b.max));
+}
+
+// Concurrent interning + recording from many threads; run under
+// SOR_SANITIZE=thread this is the registry's data-race check
+// (satellite 5).
+TEST(HealthRegistry, ConcurrentInterningAndRecordingIsSafe) {
+  reset_health();
+  const ScopedEnable enable;
+  constexpr std::size_t kN = 4000;
+  parallel_for(kN, [&](std::size_t i) {
+    auto& registry = telemetry::HealthRegistry::global();
+    // A handful of names, interned repeatedly from every thread.
+    const std::string name = "stress/metric" + std::to_string(i % 7);
+    registry.rate(name).add();
+    registry.window_gauge(name).set(static_cast<double>(i));
+    registry.sketch(name).observe(static_cast<double>(i % 100 + 1));
+  });
+  auto& registry = telemetry::HealthRegistry::global();
+  std::uint64_t total = 0;
+  registry.roll_epoch(0);
+  for (const auto& [name, window] : registry.rate_windows()) {
+    if (name.rfind("stress/", 0) != 0) continue;
+    for (const auto& point : window) {
+      total += static_cast<std::uint64_t>(point.value);
+    }
+  }
+  EXPECT_EQ(total, kN);
+  reset_health();
+}
+
+TEST(Slo, ParseAcceptsKnownKeysAndRejectsUnknown) {
+  const telemetry::SloConfig config = telemetry::parse_slo_config(
+      R"({"max_congestion": 1.5, "solve_p99_ms": 250, "min_cache_hit_rate": 0.8})");
+  EXPECT_DOUBLE_EQ(config.max_congestion, 1.5);
+  EXPECT_DOUBLE_EQ(config.solve_p99_ms, 250.0);
+  EXPECT_DOUBLE_EQ(config.min_cache_hit_rate, 0.8);
+  EXPECT_TRUE(config.any_set());
+  EXPECT_FALSE(telemetry::parse_slo_config("{}").any_set());
+  EXPECT_THROW(telemetry::parse_slo_config(R"({"max_congeston": 1.5})"),
+               CheckError);
+}
+
+TEST(Slo, TrackerRecordsBreachesToRegistryAndFlightRecorder) {
+  reset_health();
+  const ScopedEnable enable;
+  telemetry::SloConfig config;
+  config.max_congestion = 1.0;
+  config.solve_p99_ms = 10.0;
+  config.min_cache_hit_rate = 0.5;
+  telemetry::SloTracker tracker(config);
+  ASSERT_TRUE(tracker.active());
+
+  // Healthy epoch: nothing breaches; hit rate -1 means "no traffic" and
+  // skips the floor.
+  EXPECT_TRUE(tracker.check_epoch(0, 0.8, 5.0, -1.0).empty());
+  EXPECT_EQ(tracker.status(), 0);
+
+  // Everything breaches at once.
+  const auto breaches = tracker.check_epoch(1, 2.0, 50.0, 0.1);
+  ASSERT_EQ(breaches.size(), 3u);
+  EXPECT_EQ(tracker.status(), 1);
+  EXPECT_EQ(tracker.total_breaches(), 3u);
+  EXPECT_EQ(telemetry::HealthRegistry::global().health_status(), 1);
+  EXPECT_EQ(telemetry::HealthRegistry::global().breaches().size(), 3u);
+
+  // Each breach is also a structured flight-recorder event.
+  std::size_t recorded = 0;
+  for (const telemetry::RecorderEvent& event :
+       telemetry::Recorder::global().snapshot()) {
+    if (event.category == "slo/breach") ++recorded;
+  }
+  EXPECT_EQ(recorded, 3u);
+  reset_health();
+}
+
+// Acceptance criterion: an engine run with an unmeetable SLO reports the
+// breaches in its result, flips the health status, and the per-epoch
+// reports carry the health snapshot.
+TEST(Slo, EngineRunWithTightSloBreaches) {
+  reset_health();
+  const ScopedEnable enable;
+  engine::EngineRunConfig config;
+  config.source = "sp";
+  config.trace.num_epochs = 3;
+  config.engine.slo.max_congestion = 1e-9;
+  const engine::EngineRunOutput out = engine::run_from_config(config);
+
+  EXPECT_EQ(out.result.health_status, 1);
+  EXPECT_FALSE(out.result.breaches.empty());
+  ASSERT_EQ(out.result.epochs.size(), 3u);
+  for (const engine::EpochReport& report : out.result.epochs) {
+    EXPECT_GE(report.health.breaches, 1u);
+    EXPECT_GT(report.health.congestion_watermark, 0.0);
+    EXPECT_GE(report.health.solve_p99_ms, report.health.solve_p50_ms);
+  }
+  // The watermark is the running max of realized congestion.
+  EXPECT_DOUBLE_EQ(out.result.epochs.back().health.congestion_watermark,
+                   out.result.congestion_summary.max);
+  std::size_t recorded = 0;
+  for (const telemetry::RecorderEvent& event :
+       telemetry::Recorder::global().snapshot()) {
+    if (event.category == "slo/breach") ++recorded;
+  }
+  EXPECT_GE(recorded, 3u);  // at least one per epoch
+  reset_health();
+}
+
+// The same run without an SLO config is healthy and records nothing.
+TEST(Slo, EngineRunWithoutSloIsHealthy) {
+  reset_health();
+  const ScopedEnable enable;
+  engine::EngineRunConfig config;
+  config.source = "sp";
+  config.trace.num_epochs = 2;
+  const engine::EngineRunOutput out = engine::run_from_config(config);
+  EXPECT_EQ(out.result.health_status, 0);
+  EXPECT_TRUE(out.result.breaches.empty());
+  reset_health();
+}
+
+TEST(Slo, EvaluateArtifactReportsRecordedAndReEvaluatedBreaches) {
+  using telemetry::JsonValue;
+  const JsonValue artifact = JsonValue::parse(R"({
+    "experiment": "E16",
+    "health": {
+      "enabled": true,
+      "breaches": [
+        {"slo": "max_congestion", "epoch": 2, "value": 1.9, "budget": 1.0}
+      ],
+      "sketches": {
+        "engine/solve_seconds":
+          {"count": 8, "sum": 0.4, "min": 0.01, "max": 0.2,
+           "p50": 0.04, "p95": 0.1, "p99": 0.125}
+      },
+      "watermarks": {"engine/congestion": 1.9},
+      "status": 1
+    },
+    "cache": {"hits": 1, "disk_hits": 0, "misses": 9}
+  })");
+
+  telemetry::SloConfig config;
+  config.solve_p99_ms = 100.0;       // p99 is 125 ms -> breach
+  config.max_congestion = 2.5;       // watermark 1.9 -> holds
+  config.min_cache_hit_rate = 0.5;   // 0.1 -> breach
+  const telemetry::ArtifactSloReport report =
+      telemetry::evaluate_artifact_slo(artifact, config);
+  EXPECT_EQ(report.recorded.size(), 1u);
+  ASSERT_EQ(report.evaluated.size(), 2u);
+  EXPECT_EQ(report.status, 1);
+
+  // An artifact with no recorded breaches against a permissive config.
+  const telemetry::ArtifactSloReport ok = telemetry::evaluate_artifact_slo(
+      JsonValue::parse(R"({"experiment": "E16", "health": {"breaches": [],
+                           "sketches": {}, "status": 0}})"),
+      telemetry::SloConfig{});
+  EXPECT_EQ(ok.status, 0);
+}
+
+TEST(Exporters, PrometheusTextExposesCountersAndSketchSummaries) {
+  reset_health();
+  const ScopedEnable enable;
+  SOR_COUNTER("promtest/events").add(3);
+  auto& sketch = telemetry::HealthRegistry::global().sketch("promtest/lat");
+  for (int i = 1; i <= 100; ++i) sketch.observe(static_cast<double>(i));
+  telemetry::HealthRegistry::global().rate("promtest/rate").add(2);
+  telemetry::HealthRegistry::global().roll_epoch(0);
+
+  const std::string text = telemetry::prometheus_text();
+  EXPECT_NE(text.find("sor_promtest_events 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE sor_promtest_lat summary"), std::string::npos);
+  EXPECT_NE(text.find("sor_promtest_lat{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("sor_promtest_lat_count 100"), std::string::npos);
+  EXPECT_NE(text.find("sor_promtest_rate_total"), std::string::npos);
+  reset_health();
+}
+
+// Satellite: ring overflow is not silent — the evictions show up in the
+// health block's recorder figures (and in the recorder/dropped counter).
+TEST(Exporters, RecorderOverflowSurfacesInHealthBlock) {
+  reset_health();
+  const ScopedEnable enable;
+  auto& recorder = telemetry::Recorder::global();
+  const std::size_t saved = recorder.capacity();
+  recorder.set_capacity(4);
+  for (int i = 0; i < 10; ++i) {
+    recorder.record("overflow/test", {{"i", i}});
+  }
+  const telemetry::JsonValue doc = telemetry::health_to_json();
+  EXPECT_EQ(doc.at("recorder").at("recorded").as_number(), 10.0);
+  EXPECT_EQ(doc.at("recorder").at("dropped").as_number(), 6.0);
+  recorder.set_capacity(saved);
+  recorder.clear();
+  reset_health();
+}
+
+TEST(Exporters, HealthJsonCarriesSketchesWatermarksAndStatus) {
+  reset_health();
+  const ScopedEnable enable;
+  auto& registry = telemetry::HealthRegistry::global();
+  registry.sketch("jsontest/lat").observe(0.25);
+  registry.window_gauge("jsontest/gauge").set(1.25);
+  registry.rate("jsontest/rate").add(4);
+  registry.roll_epoch(0);
+  registry.record_breach({"max_congestion", 0, 2.0, 1.0});
+
+  const telemetry::JsonValue doc = telemetry::health_to_json();
+  EXPECT_TRUE(doc.at("enabled").as_bool());
+  EXPECT_EQ(doc.at("epochs_rolled").as_number(), 1.0);
+  const telemetry::JsonValue& sketch =
+      doc.at("sketches").at("jsontest/lat");
+  EXPECT_EQ(sketch.at("count").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(sketch.at("max").as_number(), 0.25);
+  EXPECT_DOUBLE_EQ(
+      doc.at("watermarks").at("jsontest/lat").as_number(), 0.25);
+  EXPECT_EQ(doc.at("breaches").size(), 1u);
+  EXPECT_EQ(doc.at("status").as_number(), 1.0);
+
+  const telemetry::JsonValue line = telemetry::epoch_health_json(0);
+  EXPECT_EQ(line.at("epoch").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      line.at("gauges").at("jsontest/gauge").as_number(), 1.25);
+  EXPECT_DOUBLE_EQ(line.at("rates").at("jsontest/rate").as_number(), 4.0);
+  reset_health();
+}
+
+}  // namespace
+}  // namespace sor
