@@ -28,8 +28,10 @@
 #include "core/sampler.hpp"
 #include "demand/demand.hpp"
 #include "flow/mcf.hpp"
+#include "telemetry/buildinfo.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/json.hpp"
+#include "telemetry/memory.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/span.hpp"
 #include "telemetry/telemetry.hpp"
@@ -51,7 +53,13 @@ namespace sor::bench {
 // epoch-windowed series, recorder drop counters, and the SLO breach list
 // + 0/1 status, see src/telemetry/metrics.hpp) — the SLO fixture chain
 // and `sor_cli slo` evaluate it.
-inline constexpr int kArtifactSchemaVersion = 5;
+// v6: added the "provenance" block (compiler id/version, build type,
+// flags, sanitize mode, build fingerprint, git describe — see
+// src/telemetry/buildinfo.hpp) and the "memory" block (current/peak RSS
+// plus per-subsystem live-bytes high-water marks, see
+// src/telemetry/memory.hpp). Both key the run ledger (`sor_cli ledger
+// append` / `trend`).
+inline constexpr int kArtifactSchemaVersion = 6;
 
 namespace detail {
 // Captured at static initialization — close enough to process start for
@@ -172,6 +180,13 @@ inline telemetry::JsonValue artifact_json(const std::string& id,
   // recorder drops, SLO breaches). Carries enabled=false with empty
   // contents under SOR_TELEMETRY=off.
   doc.set("health", telemetry::health_to_json());
+
+  // v6: build provenance (configure-time compiler identity plus the
+  // git describe baked into this binary) and the memory figures (RSS is
+  // kernel state, so the block is meaningful under SOR_TELEMETRY=off
+  // too; the subsystem map is whatever the run charged).
+  doc.set("provenance", telemetry::build_info_json(git_describe()));
+  doc.set("memory", telemetry::memory_to_json());
   return doc;
 }
 

@@ -305,6 +305,57 @@ void check_cache(const JsonValue& doc) {
   }
 }
 
+/// The schema-v6 provenance block (src/telemetry/buildinfo.hpp): the
+/// configure-time build identity, all strings, none empty — "unknown" is
+/// the documented placeholder, an empty field means the block was
+/// assembled by hand.
+void check_provenance(const JsonValue& doc) {
+  check_member(doc, "provenance", JsonValue::Kind::kObject, "object");
+  const JsonValue& provenance = doc.at("provenance");
+  for (const char* key :
+       {"compiler_id", "compiler_version", "build_type", "sanitize",
+        "build_fingerprint", "git_describe"}) {
+    check_member(provenance, key, JsonValue::Kind::kString, "string");
+    require(!provenance.at(key).as_string().empty(),
+            std::string("provenance/") + key + " is empty");
+  }
+  // cxx_flags may legitimately be empty (a configure with no extra
+  // flags), so only its type is enforced.
+  check_member(provenance, "cxx_flags", JsonValue::Kind::kString, "string");
+  require(provenance.at("build_fingerprint").as_string().size() == 16,
+          "provenance/build_fingerprint is not a 16-hex-digit fingerprint");
+}
+
+/// The schema-v6 memory block (src/telemetry/memory.hpp): RSS figures
+/// with peak >= current (both sides of one sample), and per-subsystem
+/// live/high-water byte accounts with high_water >= live (the high-water
+/// mark is monotone over live).
+void check_memory(const JsonValue& doc) {
+  check_member(doc, "memory", JsonValue::Kind::kObject, "object");
+  const JsonValue& memory = doc.at("memory");
+  for (const char* key : {"current_rss_bytes", "peak_rss_bytes"}) {
+    check_member(memory, key, JsonValue::Kind::kNumber, "number");
+    require(memory.at(key).as_number() >= 0,
+            std::string("memory/") + key + " is negative");
+  }
+  require(memory.at("peak_rss_bytes").as_number() >=
+              memory.at("current_rss_bytes").as_number(),
+          "memory/peak_rss_bytes is below current_rss_bytes");
+  check_member(memory, "subsystems", JsonValue::Kind::kObject, "object");
+  for (const auto& [name, entry] : memory.at("subsystems").members()) {
+    const std::string where = "memory/subsystems/" + name;
+    require(entry.is_object(), where + " is not an object");
+    for (const char* key : {"live_bytes", "high_water_bytes"}) {
+      check_member(entry, key, JsonValue::Kind::kNumber, "number");
+      require(entry.at(key).as_number() >= 0,
+              where + "/" + key + " is negative");
+    }
+    require(entry.at("high_water_bytes").as_number() >=
+                entry.at("live_bytes").as_number(),
+            where + " high-water mark is below live bytes");
+  }
+}
+
 /// One [epoch, value] windowed series from the health block: pairs with
 /// non-decreasing epoch indices within a run. A decrease is legal only
 /// as a restart to epoch 0 — a process that drives several control
@@ -526,6 +577,7 @@ int main(int argc, char** argv) {
           "schema_version < 3 (artifact written by an old bench build)");
   const bool has_cache_block = doc.at("schema_version").as_number() >= 4;
   const bool has_health_block = doc.at("schema_version").as_number() >= 5;
+  const bool has_provenance_block = doc.at("schema_version").as_number() >= 6;
   require(has_cache_block || !require_cache_hits,
           "--require-cache-hits needs a schema v4+ artifact");
   check_member(doc, "experiment", JsonValue::Kind::kString, "string");
@@ -574,6 +626,10 @@ int main(int argc, char** argv) {
   const std::set<std::string> solvers = check_convergence(doc);
   if (has_cache_block) check_cache(doc);
   if (has_health_block) check_health(doc);
+  if (has_provenance_block) {
+    check_provenance(doc);
+    check_memory(doc);
+  }
   if (require_cache_hits) {
     const JsonValue& cache = doc.at("cache");
     require(cache.at("enabled").as_bool(),

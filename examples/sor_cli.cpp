@@ -9,6 +9,9 @@
 //   sor_cli report BENCH_x.json
 //   sor_cli diff OLD.json NEW.json [diff options]
 //   sor_cli profile BENCH_x.json
+//   sor_cli ledger append LEDGER.jsonl BENCH_x.json [ledger options]
+//   sor_cli ledger ls LEDGER.jsonl
+//   sor_cli trend LEDGER.jsonl [trend options]
 //
 // Options:
 //   --graph FILE      edge-list graph: first line "<n>", then "u v [cap]"
@@ -48,8 +51,8 @@
 //   sor_cli monitor [engine-run options]
 //                                 live control loop: one health row per
 //                                 epoch (congestion + watermark, solve
-//                                 p50/p95/p99, cache hit rate, recorder
-//                                 drops, breaches) as the run progresses;
+//                                 p50/p95/p99, cache hit rate, peak RSS,
+//                                 recorder drops, breaches) as it runs;
 //                                 exits with the run's health status
 //     --health-jsonl FILE         append one JSONL health snapshot per
 //                                 epoch (telemetry::epoch_health_json)
@@ -72,6 +75,28 @@
 //   sor_cli profile BENCH_x.json  solver-introspection view: per-subsystem
 //                                 cost accounting (time/calls/bytes) and
 //                                 the schema-v3 convergence traces
+//
+// Run ledger / trend gate:
+//   sor_cli ledger append LEDGER.jsonl BENCH_x.json
+//                                 append the artifact's stable summary
+//                                 (keyed by bench id, config digest, build
+//                                 fingerprint) as one JSONL record
+//     --git-sha SHA               provenance stamp (default "unknown" —
+//                                 the ledger never samples git itself)
+//     --timestamp TS              provenance stamp (default "unknown")
+//     --note TEXT                 free-form provenance note
+//     --scale-metric NAME=FACTOR  multiply one summary metric before
+//                                 appending (synthetic-regression aid for
+//                                 testing the trend gate)
+//   sor_cli ledger ls LEDGER.jsonl
+//                                 list records (corrupt lines are skipped
+//                                 and counted, never fatal)
+//   sor_cli trend LEDGER.jsonl [--bench ID] [--window N] [--threshold X]
+//                              [--mad-factor X]
+//                                 robust per-metric trend over the trailing
+//                                 window (median + MAD baseline); exits 1
+//                                 when the latest run regressed, 2 when
+//                                 the ledger is unusable
 //
 // Prints the installed system's statistics, the achieved congestion, the
 // offline optimum, and the competitive ratio; `engine run` prints the
@@ -103,6 +128,7 @@
 #include "sim/packet_sim.hpp"
 #include "telemetry/artifact.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/ledger.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/slo.hpp"
 #include "telemetry/span.hpp"
@@ -223,11 +249,166 @@ int diff_main(int argc, char** argv) {
   const auto before = load_json(paths[0]);
   const auto after = load_json(paths[1]);
   if (!before || !after) return 2;
+  // Build provenance header: a congestion "regression" between artifacts
+  // built with different compilers or sanitizers is usually the build.
+  const auto build_line = [](const char* label,
+                             const sor::telemetry::JsonValue& doc) {
+    if (!doc.has("provenance") || !doc.at("provenance").is_object()) return;
+    const sor::telemetry::JsonValue& prov = doc.at("provenance");
+    std::cout << label << " build:";
+    for (const char* key : {"compiler_id", "compiler_version", "build_type"}) {
+      if (prov.has(key) && prov.at(key).is_string()) {
+        std::cout << " " << prov.at(key).as_string();
+      }
+    }
+    if (prov.has("build_fingerprint") &&
+        prov.at("build_fingerprint").is_string()) {
+      std::cout << "  [" << prov.at("build_fingerprint").as_string() << "]";
+    }
+    std::cout << "\n";
+  };
+  build_line("old", *before);
+  build_line("new", *after);
   const sor::telemetry::ArtifactDiffResult result =
       sor::telemetry::diff_artifacts(*before, *after, options);
   sor::telemetry::render_artifact_diff(result, std::cout);
   if (!result.comparable()) return 2;
   return result.regressed() ? 1 : 0;
+}
+
+int ledger_main(int argc, char** argv) {
+  const auto ledger_usage = []() {
+    std::cerr << "usage: sor_cli ledger append LEDGER.jsonl BENCH_x.json "
+                 "[--git-sha SHA] [--timestamp TS] [--note TEXT] "
+                 "[--scale-metric NAME=FACTOR]\n"
+                 "       sor_cli ledger ls LEDGER.jsonl\n";
+    return 2;
+  };
+  if (argc < 3) return ledger_usage();
+  const std::string sub = argv[2];
+  if (sub == "ls") {
+    if (argc != 4) return ledger_usage();
+    const sor::telemetry::LedgerReadResult ledger =
+        sor::telemetry::read_ledger_file(argv[3]);
+    sor::telemetry::render_ledger(ledger, std::cout);
+    return 0;
+  }
+  if (sub != "append") return ledger_usage();
+
+  std::string ledger_path;
+  std::string artifact_path;
+  sor::telemetry::LedgerProvenance provenance;
+  std::vector<std::pair<std::string, double>> scales;
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "error: missing value for " << flag << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--git-sha") {
+      provenance.git_sha = value();
+    } else if (flag == "--timestamp") {
+      provenance.timestamp = value();
+    } else if (flag == "--note") {
+      provenance.note = value();
+    } else if (flag == "--scale-metric") {
+      const std::string spec = value();
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::cerr << "error: --scale-metric wants NAME=FACTOR, got " << spec
+                  << "\n";
+        return 2;
+      }
+      scales.emplace_back(spec.substr(0, eq),
+                          std::stod(spec.substr(eq + 1)));
+    } else if (ledger_path.empty()) {
+      ledger_path = flag;
+    } else if (artifact_path.empty()) {
+      artifact_path = flag;
+    } else {
+      return ledger_usage();
+    }
+  }
+  if (ledger_path.empty() || artifact_path.empty()) return ledger_usage();
+
+  const auto doc = load_json(artifact_path);
+  if (!doc) return 2;
+  sor::telemetry::LedgerRecord record;
+  try {
+    record = sor::telemetry::summarize_artifact(*doc, provenance);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  for (const auto& [name, factor] : scales) {
+    const auto it = record.metrics.find(name);
+    if (it == record.metrics.end()) {
+      std::cerr << "error: --scale-metric " << name
+                << " is not in the summary (have:";
+      for (const auto& [have, unused] : record.metrics) {
+        std::cerr << " " << have;
+      }
+      std::cerr << ")\n";
+      return 2;
+    }
+    it->second *= factor;
+  }
+  if (!sor::telemetry::append_record(ledger_path, record)) {
+    std::cerr << "error: cannot append to " << ledger_path << "\n";
+    return 1;
+  }
+  std::cout << "appended " << record.bench << " (config "
+            << record.config_digest << ", build " << record.build << ", "
+            << record.metrics.size() << " metric(s)) to " << ledger_path
+            << "\n";
+  return 0;
+}
+
+int trend_main(int argc, char** argv) {
+  std::string ledger_path;
+  std::string bench;
+  sor::telemetry::TrendOptions options;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "error: missing value for " << flag << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--bench") {
+      bench = value();
+    } else if (flag == "--window") {
+      options.window = std::stoull(value());
+    } else if (flag == "--threshold") {
+      options.threshold = std::stod(value());
+    } else if (flag == "--mad-factor") {
+      options.mad_factor = std::stod(value());
+    } else if (ledger_path.empty()) {
+      ledger_path = flag;
+    } else {
+      std::cerr << "usage: sor_cli trend LEDGER.jsonl [--bench ID] "
+                   "[--window N] [--threshold X] [--mad-factor X]\n";
+      return 2;
+    }
+  }
+  if (ledger_path.empty() || options.window < 2) {
+    std::cerr << "usage: sor_cli trend LEDGER.jsonl [--bench ID] "
+                 "[--window N (>= 2)] [--threshold X] [--mad-factor X]\n";
+    return 2;
+  }
+  const sor::telemetry::LedgerReadResult ledger =
+      sor::telemetry::read_ledger_file(ledger_path);
+  sor::telemetry::TrendReport report =
+      sor::telemetry::analyze_trend(ledger.records, options, bench);
+  report.corrupt_lines = ledger.corrupt_lines;
+  sor::telemetry::render_trend(report, std::cout);
+  if (!report.usable()) return 2;
+  return report.regressed() ? 1 : 0;
 }
 
 [[noreturn]] void usage(const char* msg = nullptr) {
@@ -241,7 +422,11 @@ int diff_main(int argc, char** argv) {
                "       sor_cli slo BENCH_x.json [--slo-config FILE]\n"
                "       sor_cli report BENCH_x.json\n"
                "       sor_cli diff OLD.json NEW.json [options]\n"
-               "       sor_cli profile BENCH_x.json\n";
+               "       sor_cli profile BENCH_x.json\n"
+               "       sor_cli ledger append LEDGER.jsonl BENCH_x.json "
+               "[options]\n"
+               "       sor_cli ledger ls LEDGER.jsonl\n"
+               "       sor_cli trend LEDGER.jsonl [options]\n";
   std::exit(2);
 }
 
@@ -553,13 +738,14 @@ int monitor_main(int argc, char** argv) {
     }
   }
 
+  using sor::telemetry::format_quantity;
   using sor::telemetry::format_seconds;
   std::cout << std::left << std::setw(7) << "epoch" << std::right
             << std::setw(11) << "congestion" << std::setw(11) << "watermark"
             << std::setw(11) << "p50" << std::setw(11) << "p95"
             << std::setw(11) << "p99" << std::setw(10) << "cache"
-            << std::setw(9) << "dropped" << std::setw(9) << "breach"
-            << "\n";
+            << std::setw(10) << "rss" << std::setw(9) << "dropped"
+            << std::setw(9) << "breach" << "\n";
   const auto on_epoch = [&](const sor::engine::EpochReport& r) {
     const sor::engine::EpochHealth& h = r.health;
     std::cout << std::left << std::setw(7) << r.epoch << std::right
@@ -571,6 +757,12 @@ int monitor_main(int argc, char** argv) {
               << std::setw(10)
               << (h.cache_hit_rate < 0 ? std::string("-")
                                        : sor::Table::fmt(h.cache_hit_rate, 2))
+              << std::setw(10)
+              << (h.peak_rss_bytes == 0
+                      ? std::string("-")
+                      : format_quantity(
+                            static_cast<double>(h.peak_rss_bytes)) +
+                            "B")
               << std::setw(9) << h.recorder_dropped << std::setw(9)
               << h.breaches << "\n";
     std::cout.flush();
@@ -688,6 +880,12 @@ int main(int argc, char** argv) {
   }
   if (argc >= 2 && std::strcmp(argv[1], "profile") == 0) {
     return profile_main(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "ledger") == 0) {
+    return ledger_main(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "trend") == 0) {
+    return trend_main(argc, argv);
   }
   const Args args = parse(argc, argv);
   if (!args.trace_out.empty()) enable_timeline_capture();

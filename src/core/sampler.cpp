@@ -12,6 +12,7 @@
 #include "demand/generators.hpp"
 #include "flow/maxflow.hpp"
 #include "graph/fingerprint.hpp"
+#include "telemetry/memory.hpp"
 #include "telemetry/observer.hpp"
 #include "telemetry/span.hpp"
 #include "telemetry/telemetry.hpp"
@@ -124,6 +125,20 @@ PathSystem sample_path_system_uncached(const ObliviousRouting& routing,
       sampled_by_pair[{pairs[i].a, pairs[i].b}] += sampled[i].size();
     }
   }
+
+  // Memory attribution: the sampled scratch (edge lists plus the Path
+  // headers) is the sampler's working set until it is moved into the
+  // returned system. Charged for the assembly scope so the accountant's
+  // high-water mark captures the largest concurrent sampling footprint.
+  std::uint64_t sampled_bytes = 0;
+  if (telemetry::enabled()) {
+    for (const auto& list : sampled) {
+      for (const Path& p : list) {
+        sampled_bytes += sizeof(Path) + p.edges.size() * sizeof(EdgeId);
+      }
+    }
+  }
+  SOR_SCOPED_BYTES("sampler", sampled_bytes);
 
   PathSystem system;
   for (auto& list : sampled) {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <optional>
 
+#include "telemetry/memory.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/observer.hpp"
 #include "telemetry/recorder.hpp"
@@ -283,6 +284,12 @@ EpochReport EpochController::step(std::span<const Event> events,
   SOR_WINDOW_GAUGE("engine/congestion").set(report.congestion);
   SOR_RATE("engine/epochs").add();
   SOR_RATE("engine/churn").add(report.repair.churn());
+  // Peak RSS at the epoch boundary: set before the roll so the windowed
+  // series carries one memory point per epoch. Wall-clock-free but
+  // allocator-dependent, so digest-excluded like the latency figures.
+  const telemetry::MemoryUsage memory = telemetry::sample_memory_usage();
+  SOR_WINDOW_GAUGE("engine/peak_rss_bytes")
+      .set(static_cast<double>(memory.peak_rss_bytes));
   telemetry::HealthRegistry::global().roll_epoch(report.epoch);
 
   congestion_watermark_ = std::max(congestion_watermark_, report.congestion);
@@ -292,6 +299,7 @@ EpochReport EpochController::step(std::span<const Event> events,
   report.health.solve_p99_ms = solve_summary.p99 * 1e3;
   report.health.congestion_watermark = congestion_watermark_;
   report.health.cache_hit_rate = telemetry::cache_hit_rate();
+  report.health.peak_rss_bytes = memory.peak_rss_bytes;
   report.health.recorder_dropped = telemetry::Recorder::global().dropped();
   if (slo_.active()) {
     const std::vector<telemetry::SloBreach> epoch_breaches = slo_.check_epoch(

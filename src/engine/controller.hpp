@@ -77,6 +77,9 @@ struct EpochHealth {
   double congestion_watermark = 0;
   /// Artifact-cache hit rate; -1 when there was no cache traffic.
   double cache_hit_rate = -1;
+  /// Process peak RSS sampled at this epoch's boundary (0 when the
+  /// platform exposes no RSS source; see telemetry/memory.hpp).
+  std::uint64_t peak_rss_bytes = 0;
   /// Flight-recorder events evicted by the ring bound so far.
   std::uint64_t recorder_dropped = 0;
   /// SLO breaches detected at this epoch's boundary.

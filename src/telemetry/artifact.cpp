@@ -13,6 +13,10 @@
 namespace sor::telemetry {
 
 std::string format_seconds(double seconds) {
+  // Non-finite inputs reach here via corrupted artifacts or sentinel
+  // metrics; pass them through spelled out rather than scaling garbage.
+  if (std::isnan(seconds)) return "nan";
+  if (std::isinf(seconds)) return seconds > 0 ? "inf s" : "-inf s";
   const char* sign = seconds < 0 ? "-" : "";
   double v = std::abs(seconds);
   const char* unit = "s";
@@ -34,6 +38,8 @@ std::string format_seconds(double seconds) {
 }
 
 std::string format_quantity(double value) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
   const char* sign = value < 0 ? "-" : "";
   double v = std::abs(value);
   const char* suffix = "";
@@ -529,6 +535,39 @@ void render_events(const JsonValue& doc, std::ostream& os) {
   }
 }
 
+void render_memory(const JsonValue& doc, std::ostream& os) {
+  if (!doc.has("memory") || !doc.at("memory").is_object()) return;
+  const JsonValue& block = doc.at("memory");
+  os << "memory:";
+  if (block.has("peak_rss_bytes") && block.at("peak_rss_bytes").is_number()) {
+    os << " peak rss " << format_quantity(block.at("peak_rss_bytes").as_number())
+       << "B";
+  }
+  if (block.has("current_rss_bytes") &&
+      block.at("current_rss_bytes").is_number()) {
+    os << "  (current "
+       << format_quantity(block.at("current_rss_bytes").as_number()) << "B)";
+  }
+  os << "\n";
+  if (block.has("subsystems") && block.at("subsystems").is_object() &&
+      block.at("subsystems").size() > 0) {
+    os << "  " << std::left << std::setw(16) << "subsystem" << std::right
+       << std::setw(12) << "high-water" << std::setw(12) << "live" << "\n";
+    for (const auto& [name, fig] : block.at("subsystems").members()) {
+      if (!fig.is_object()) continue;
+      const double hwm = fig.has("high_water_bytes")
+                             ? fig.at("high_water_bytes").as_number()
+                             : 0;
+      const double live =
+          fig.has("live_bytes") ? fig.at("live_bytes").as_number() : 0;
+      os << "  " << std::left << std::setw(16) << name << std::right
+         << std::setw(12) << (format_quantity(hwm) + "B") << std::setw(12)
+         << (format_quantity(live) + "B") << "\n";
+    }
+  }
+  os << "\n";
+}
+
 }  // namespace
 
 void render_artifact_report(const JsonValue& doc, std::ostream& os) {
@@ -546,6 +585,24 @@ void render_artifact_report(const JsonValue& doc, std::ostream& os) {
     }
     os << "\n";
   }
+  if (doc.has("provenance") && doc.at("provenance").is_object()) {
+    const JsonValue& prov = doc.at("provenance");
+    os << "build:";
+    for (const char* key : {"compiler_id", "compiler_version", "build_type"}) {
+      if (prov.has(key) && prov.at(key).is_string()) {
+        os << " " << prov.at(key).as_string();
+      }
+    }
+    if (prov.has("sanitize") && prov.at("sanitize").is_string() &&
+        prov.at("sanitize").as_string() != "off") {
+      os << " sanitize=" << prov.at("sanitize").as_string();
+    }
+    if (prov.has("build_fingerprint") &&
+        prov.at("build_fingerprint").is_string()) {
+      os << "  [" << prov.at("build_fingerprint").as_string() << "]";
+    }
+    os << "\n";
+  }
   if (doc.has("schema_version")) {
     os << "schema: v" << number_text(doc.at("schema_version")) << "\n";
   }
@@ -560,6 +617,7 @@ void render_artifact_report(const JsonValue& doc, std::ostream& os) {
   }
   render_top_spans(doc, os);
   render_health(doc, os);
+  render_memory(doc, os);
   render_attribution(doc, os);
   render_events(doc, os);
 }

@@ -1,0 +1,88 @@
+#include "telemetry/buildinfo.hpp"
+
+#include <cstdint>
+
+namespace sor::telemetry {
+
+namespace {
+
+constexpr const char* kUnknown = "unknown";
+
+const char* value_or_unknown(const char* v) {
+  return v != nullptr && v[0] != '\0' ? v : kUnknown;
+}
+
+}  // namespace
+
+const BuildInfo& build_info() {
+  static const BuildInfo info = [] {
+    BuildInfo b;
+#ifdef SOR_BUILD_COMPILER_ID
+    b.compiler_id = value_or_unknown(SOR_BUILD_COMPILER_ID);
+#else
+    b.compiler_id = kUnknown;
+#endif
+#ifdef SOR_BUILD_COMPILER_VERSION
+    b.compiler_version = value_or_unknown(SOR_BUILD_COMPILER_VERSION);
+#else
+    b.compiler_version = kUnknown;
+#endif
+#ifdef SOR_BUILD_TYPE
+    b.build_type = value_or_unknown(SOR_BUILD_TYPE);
+#else
+    b.build_type = kUnknown;
+#endif
+#ifdef SOR_BUILD_CXX_FLAGS
+    // Empty flags are a legitimate configuration, not an unknown.
+    b.cxx_flags = SOR_BUILD_CXX_FLAGS;
+#else
+    b.cxx_flags = kUnknown;
+#endif
+#ifdef SOR_BUILD_SANITIZE
+    // An empty SOR_SANITIZE cache variable means no sanitizer.
+    b.sanitize = SOR_BUILD_SANITIZE[0] != '\0' ? SOR_BUILD_SANITIZE : "off";
+#else
+    b.sanitize = kUnknown;
+#endif
+    return b;
+  }();
+  return info;
+}
+
+std::string fnv1a64_hex(std::string_view text) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[hash & 0xF];
+    hash >>= 4;
+  }
+  return out;
+}
+
+std::string build_fingerprint(const BuildInfo& info) {
+  // '\n' separators keep field boundaries unambiguous (no field contains
+  // a newline — they come from CMake variables).
+  return fnv1a64_hex(info.compiler_id + "\n" + info.compiler_version + "\n" +
+                     info.build_type + "\n" + info.cxx_flags + "\n" +
+                     info.sanitize);
+}
+
+JsonValue build_info_json(std::string_view git_describe,
+                          const BuildInfo& info) {
+  JsonValue doc = JsonValue::object();
+  doc.set("compiler_id", info.compiler_id);
+  doc.set("compiler_version", info.compiler_version);
+  doc.set("build_type", info.build_type);
+  doc.set("cxx_flags", info.cxx_flags);
+  doc.set("sanitize", info.sanitize);
+  doc.set("build_fingerprint", build_fingerprint(info));
+  doc.set("git_describe", std::string(git_describe));
+  return doc;
+}
+
+}  // namespace sor::telemetry

@@ -1,0 +1,47 @@
+#pragma once
+
+// Build provenance for artifacts and the run ledger: which compiler, at
+// which flags, in which sanitize mode produced this binary. The values
+// are baked in at configure time (src/telemetry/CMakeLists.txt passes
+// them as SOR_BUILD_* definitions), so they describe the BUILD, not the
+// machine the binary later runs on. The git SHA is deliberately NOT part
+// of BuildInfo — callers supply it (bench binaries bake SOR_GIT_DESCRIBE,
+// `sor_cli ledger append` takes --git-sha), so nothing here ever samples
+// volatile state and records stay replay-deterministic.
+
+#include <string>
+#include <string_view>
+
+#include "telemetry/json.hpp"
+
+namespace sor::telemetry {
+
+struct BuildInfo {
+  std::string compiler_id;       // e.g. "GNU", "Clang"
+  std::string compiler_version;  // e.g. "13.2.0"
+  std::string build_type;        // e.g. "RelWithDebInfo"
+  std::string cxx_flags;         // CMAKE_CXX_FLAGS at configure time
+  std::string sanitize;          // "off" | "address" | "undefined" | "thread"
+};
+
+/// The build this binary was produced by. Fields read "unknown" when the
+/// corresponding SOR_BUILD_* definition was not provided (e.g. a unity
+/// build outside CMake).
+const BuildInfo& build_info();
+
+/// FNV-1a 64-bit hash rendered as 16 lowercase hex digits. Shared by the
+/// build fingerprint and the ledger's config digest so every key in the
+/// (bench id, config digest, build) triple uses one hash convention.
+std::string fnv1a64_hex(std::string_view text);
+
+/// Stable short identity of a build: fnv1a64_hex over the BuildInfo
+/// fields. Two binaries agree iff compiler, version, build type, flags,
+/// and sanitize mode all agree — the "same build?" key of ledger records.
+std::string build_fingerprint(const BuildInfo& info = build_info());
+
+/// The artifact "provenance" block (schema v6): the BuildInfo fields,
+/// the fingerprint, and the caller-supplied tree identity.
+JsonValue build_info_json(std::string_view git_describe,
+                          const BuildInfo& info = build_info());
+
+}  // namespace sor::telemetry

@@ -1,0 +1,126 @@
+#include "telemetry/memory.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace sor::telemetry {
+
+namespace {
+
+/// Parses "VmRSS:    1234 kB" style lines. Returns 0 when the key is
+/// absent or malformed.
+std::uint64_t parse_status_kb(const char* line, const char* key) {
+  const std::size_t key_len = std::strlen(key);
+  if (std::strncmp(line, key, key_len) != 0) return 0;
+  const char* p = line + key_len;
+  while (*p == ' ' || *p == '\t') ++p;
+  std::uint64_t kb = 0;
+  bool any = false;
+  while (*p >= '0' && *p <= '9') {
+    kb = kb * 10 + static_cast<std::uint64_t>(*p - '0');
+    ++p;
+    any = true;
+  }
+  return any ? kb : 0;
+}
+
+}  // namespace
+
+MemoryUsage sample_memory_usage() {
+  MemoryUsage usage;
+  // Primary source: /proc/self/status gives both the current RSS and the
+  // kernel-tracked high-water mark, from one read (so peak >= current).
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      if (const std::uint64_t kb = parse_status_kb(line, "VmRSS:")) {
+        usage.current_rss_bytes = kb * 1024;
+      } else if (const std::uint64_t hwm = parse_status_kb(line, "VmHWM:")) {
+        usage.peak_rss_bytes = hwm * 1024;
+      }
+    }
+    std::fclose(f);
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  if (usage.peak_rss_bytes == 0) {
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) == 0 && ru.ru_maxrss > 0) {
+      // Linux reports ru_maxrss in kilobytes, macOS in bytes.
+#if defined(__APPLE__)
+      usage.peak_rss_bytes = static_cast<std::uint64_t>(ru.ru_maxrss);
+#else
+      usage.peak_rss_bytes = static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+#endif
+    }
+  }
+#endif
+  if (usage.peak_rss_bytes < usage.current_rss_bytes) {
+    usage.peak_rss_bytes = usage.current_rss_bytes;
+  }
+  return usage;
+}
+
+MemoryAccountant& MemoryAccountant::global() {
+  static MemoryAccountant* accountant =
+      new MemoryAccountant();  // never destroyed,
+  return *accountant;  // same lifetime policy as telemetry::Registry
+}
+
+MemoryChannel& MemoryAccountant::channel(std::string_view subsystem) {
+  std::lock_guard lock(mu_);
+  auto it = channels_.find(subsystem);
+  if (it == channels_.end()) {
+    it = channels_
+             .emplace(std::string(subsystem),
+                      std::make_unique<MemoryChannel>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<std::pair<std::string, MemoryAccountant::Figures>>
+MemoryAccountant::figures() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::pair<std::string, Figures>> out;
+  out.reserve(channels_.size());
+  for (const auto& [name, channel] : channels_) {
+    // Read the high-water mark first: a concurrent charge between the
+    // two loads can only RAISE live past the stale hwm, and the checker
+    // requires hwm >= live.
+    Figures f;
+    f.high_water_bytes = channel->high_water_bytes();
+    f.live_bytes = channel->live_bytes();
+    if (f.live_bytes > f.high_water_bytes) {
+      f.high_water_bytes = f.live_bytes;
+    }
+    out.emplace_back(name, f);
+  }
+  return out;
+}
+
+void MemoryAccountant::reset() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, channel] : channels_) channel->reset();
+}
+
+JsonValue memory_to_json() {
+  const MemoryUsage usage = sample_memory_usage();
+  JsonValue doc = JsonValue::object();
+  doc.set("current_rss_bytes", usage.current_rss_bytes);
+  doc.set("peak_rss_bytes", usage.peak_rss_bytes);
+  JsonValue subsystems = JsonValue::object();
+  for (const auto& [name, figures] : MemoryAccountant::global().figures()) {
+    JsonValue entry = JsonValue::object();
+    entry.set("live_bytes", figures.live_bytes);
+    entry.set("high_water_bytes", figures.high_water_bytes);
+    subsystems.set(name, std::move(entry));
+  }
+  doc.set("subsystems", std::move(subsystems));
+  return doc;
+}
+
+}  // namespace sor::telemetry

@@ -4,6 +4,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "telemetry/memory.hpp"
 #include "telemetry/recorder.hpp"
 
 namespace sor::telemetry {
@@ -304,15 +305,50 @@ void prometheus_value(std::ostream& os, double v) {
   os << text.str();
 }
 
+void prometheus_help(std::ostream& os, const std::string& prom,
+                     std::string_view raw_name, const char* what) {
+  os << "# HELP " << prom << " " << what << " for telemetry key "
+     << prometheus_escape_help(raw_name) << "\n";
+}
+
 }  // namespace
+
+std::string prometheus_escape_label(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string prometheus_escape_help(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
 
 void write_prometheus(std::ostream& os) {
   for (const auto& [name, value] : Registry::global().counters()) {
     const std::string prom = prometheus_name(name);
+    prometheus_help(os, prom, name, "run counter");
     os << "# TYPE " << prom << " counter\n" << prom << " " << value << "\n";
   }
   for (const auto& [name, value] : Registry::global().gauges()) {
     const std::string prom = prometheus_name(name);
+    prometheus_help(os, prom, name, "gauge");
     os << "# TYPE " << prom << " gauge\n" << prom << " ";
     prometheus_value(os, value);
     os << "\n";
@@ -320,11 +356,13 @@ void write_prometheus(std::ostream& os) {
   HealthRegistry& health = HealthRegistry::global();
   for (const auto& [name, window] : health.rate_windows()) {
     const std::string prom = prometheus_name(name) + "_total";
+    prometheus_help(os, prom, name, "windowed rate total");
     os << "# TYPE " << prom << " counter\n"
        << prom << " " << health.rate(name).total() << "\n";
   }
   for (const auto& [name, window] : health.gauge_windows()) {
     const std::string prom = prometheus_name(name);
+    prometheus_help(os, prom, name, "windowed gauge");
     os << "# TYPE " << prom << " gauge\n" << prom << " ";
     prometheus_value(os, health.window_gauge(name).value());
     os << "\n";
@@ -332,6 +370,7 @@ void write_prometheus(std::ostream& os) {
   for (const auto& [name, snap] : health.sketches()) {
     const std::string prom = prometheus_name(name);
     const StatsSummary s = Sketch::summarize_snapshot(snap);
+    prometheus_help(os, prom, name, "quantile sketch");
     os << "# TYPE " << prom << " summary\n";
     const std::pair<const char*, double> quantiles[] = {
         {"0.5", s.p50}, {"0.95", s.p95}, {"0.99", s.p99}};
@@ -343,6 +382,30 @@ void write_prometheus(std::ostream& os) {
     os << prom << "_sum ";
     prometheus_value(os, snap.sum);
     os << "\n" << prom << "_count " << snap.count << "\n";
+  }
+  const MemoryUsage usage = sample_memory_usage();
+  os << "# HELP sor_memory_rss_bytes process resident set size\n"
+     << "# TYPE sor_memory_rss_bytes gauge\n"
+     << "sor_memory_rss_bytes{kind=\"current\"} " << usage.current_rss_bytes
+     << "\n"
+     << "sor_memory_rss_bytes{kind=\"peak\"} " << usage.peak_rss_bytes << "\n";
+  const auto figures = MemoryAccountant::global().figures();
+  if (!figures.empty()) {
+    os << "# HELP sor_memory_live_bytes attributed live bytes by subsystem\n"
+       << "# TYPE sor_memory_live_bytes gauge\n";
+    for (const auto& [subsystem, fig] : figures) {
+      os << "sor_memory_live_bytes{subsystem=\""
+         << prometheus_escape_label(subsystem) << "\"} " << fig.live_bytes
+         << "\n";
+    }
+    os << "# HELP sor_memory_high_water_bytes attributed high-water bytes by "
+          "subsystem\n"
+       << "# TYPE sor_memory_high_water_bytes gauge\n";
+    for (const auto& [subsystem, fig] : figures) {
+      os << "sor_memory_high_water_bytes{subsystem=\""
+         << prometheus_escape_label(subsystem) << "\"} "
+         << fig.high_water_bytes << "\n";
+    }
   }
 }
 

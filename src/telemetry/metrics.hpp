@@ -154,11 +154,23 @@ JsonValue health_to_json();
 /// exporter appends one such line per epoch roll.
 JsonValue epoch_health_json(std::uint64_t epoch);
 
+/// Escapes a label VALUE per the Prometheus text exposition format:
+/// backslash -> \\, double-quote -> \", newline -> \n. Telemetry keys
+/// are free-form strings, so anything that flows into a label value
+/// (e.g. memory subsystem names) must pass through here.
+std::string prometheus_escape_label(std::string_view value);
+
+/// Escapes a HELP string: backslash -> \\ and newline -> \n (quotes are
+/// legal in HELP text and stay as-is).
+std::string prometheus_escape_help(std::string_view text);
+
 /// Prometheus text exposition of the full telemetry state: counters and
 /// gauges from telemetry::Registry, health rates/gauges (latest window),
-/// and sketches as summaries with quantile labels. Metric names are
-/// sanitized ("/" and other non-alphanumerics become "_") and prefixed
-/// "sor_".
+/// sketches as summaries with quantile labels, and the memory
+/// accountant's per-subsystem figures (subsystem label). Metric names
+/// are sanitized ("/" and other non-alphanumerics become "_") and
+/// prefixed "sor_"; each metric carries a HELP line with the raw
+/// (escaped) telemetry key.
 std::string prometheus_text();
 
 /// Writes prometheus_text() to `os`.

@@ -24,8 +24,24 @@
 //
 // The octave range [2^-30, 2^21) covers sub-nanosecond latencies up to
 // ~2e6 in whatever unit the caller observes (seconds for timers).
-// Non-positive and non-finite-negative values land in a dedicated zero
-// bucket; overflows clamp into the top bucket.
+//
+// Supported input domain (every double is accepted; what it MEANS):
+//   - zero, negatives, and NaN land in bucket 0, the "non-positive"
+//     bucket, whose representative is 0 — the sketch does not preserve
+//     magnitude below zero;
+//   - positive subnormals and values below 2^-30 underflow into the
+//     FIRST log bucket (representative 2^-30), not bucket 0;
+//   - values at or above 2^21 (including +inf) clamp into the TOP
+//     bucket; quantiles then report the top bucket's lower bound, while
+//     max reports the exact observed value;
+//   - min/max CAS-combine exact values, so they are meaningful even for
+//     observations the buckets clamp; NaN observations poison `sum`
+//     (ordinary IEEE accumulation) but min/max comparisons skip NaN;
+//   - a single observation reports every quantile as that observation's
+//     bucket lower bound (nearest-rank with count == 1);
+//   - merging empty snapshots yields an empty snapshot (count 0, all
+//     quantiles 0), and merging an empty snapshot into a non-empty one
+//     is the identity.
 //
 // Observation is behind the SOR_TELEMETRY kill switch: when disabled,
 // observe() is a single relaxed atomic-bool load — no locks, no

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "engine/replay.hpp"
+#include "telemetry/memory.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/recorder.hpp"
 #include "telemetry/sketch.hpp"
@@ -466,6 +467,186 @@ TEST(Exporters, HealthJsonCarriesSketchesWatermarksAndStatus) {
       line.at("gauges").at("jsontest/gauge").as_number(), 1.25);
   EXPECT_DOUBLE_EQ(line.at("rates").at("jsontest/rate").as_number(), 4.0);
   reset_health();
+}
+
+// Satellite: the exposition format reserves backslash, double-quote, and
+// newline inside label values, and backslash/newline inside HELP text.
+// Telemetry keys are free-form, so hostile names must come out escaped.
+TEST(Exporters, PrometheusEscapesLabelValuesAndHelpStrings) {
+  EXPECT_EQ(telemetry::prometheus_escape_label("a\\b\"c\nd"),
+            "a\\\\b\\\"c\\nd");
+  EXPECT_EQ(telemetry::prometheus_escape_label("plain"), "plain");
+  EXPECT_EQ(telemetry::prometheus_escape_help("a\\b\"c\nd"),
+            "a\\\\b\"c\\nd");  // quotes are legal in HELP text
+
+  reset_health();
+  const ScopedEnable enable;
+  // A hostile metric key: sanitized in the metric name, escaped in HELP.
+  SOR_COUNTER("promesc/ev\"il\\name").add(1);
+  // A hostile subsystem name flows into a label VALUE, not a name.
+  telemetry::MemoryAccountant::global()
+      .channel("promesc\"sub\\sys\nline")
+      .charge(64);
+  const std::string text = telemetry::prometheus_text();
+  EXPECT_NE(text.find("# HELP sor_promesc_ev_il_name run counter for "
+                      "telemetry key promesc/ev\"il\\\\name"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "sor_memory_live_bytes{subsystem=\"promesc\\\"sub\\\\sys\\nline\"} "
+          "64"),
+      std::string::npos);
+  // The raw newline in the subsystem name must NOT survive into the
+  // exposition (it would split the sample line in two).
+  EXPECT_EQ(text.find("promesc\"sub"), std::string::npos);
+  telemetry::MemoryAccountant::global().reset();
+  reset_health();
+}
+
+TEST(Exporters, PrometheusExposesMemoryFigures) {
+  reset_health();
+  const ScopedEnable enable;
+  telemetry::MemoryAccountant::global().channel("promem").charge(1024);
+  const std::string text = telemetry::prometheus_text();
+  EXPECT_NE(text.find("sor_memory_rss_bytes{kind=\"current\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("sor_memory_rss_bytes{kind=\"peak\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("sor_memory_live_bytes{subsystem=\"promem\"} 1024"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("sor_memory_high_water_bytes{subsystem=\"promem\"} 1024"),
+      std::string::npos);
+  telemetry::MemoryAccountant::global().reset();
+  reset_health();
+}
+
+// Satellite: sketch edge cases — empty merges, non-positive and denormal
+// observations, and single-observation quantiles (the domain contract
+// documented in sketch.hpp).
+TEST(Sketch, MergingEmptySnapshotsIsIdentity) {
+  const telemetry::SketchSnapshot empty;
+  const std::vector<telemetry::SketchSnapshot> empties(3);
+  const telemetry::SketchSnapshot merged_empty =
+      telemetry::merge_sketch_snapshots(empties);
+  EXPECT_EQ(merged_empty.count, 0u);
+  EXPECT_TRUE(merged_empty.buckets.empty());
+  EXPECT_DOUBLE_EQ(telemetry::sketch_quantile(merged_empty, 0.99), 0.0);
+
+  const ScopedEnable enable;
+  telemetry::Sketch sketch;
+  sketch.observe(2.0);
+  sketch.observe(8.0);
+  const telemetry::SketchSnapshot base = sketch.snapshot();
+  const std::vector<telemetry::SketchSnapshot> mixed = {empty, base, empty};
+  const telemetry::SketchSnapshot merged =
+      telemetry::merge_sketch_snapshots(mixed);
+  EXPECT_EQ(merged.count, base.count);
+  EXPECT_EQ(merged.buckets, base.buckets);
+  EXPECT_DOUBLE_EQ(merged.min, base.min);
+  EXPECT_DOUBLE_EQ(merged.max, base.max);
+  EXPECT_DOUBLE_EQ(merged.sum, base.sum);
+}
+
+TEST(Sketch, NonPositiveAndDenormalObservations) {
+  const ScopedEnable enable;
+  telemetry::Sketch sketch;
+  sketch.observe(0.0);
+  sketch.observe(-7.5);
+  const telemetry::SketchSnapshot nonpositive = sketch.snapshot();
+  ASSERT_EQ(nonpositive.buckets.size(), 1u);
+  EXPECT_EQ(nonpositive.buckets[0].first, 0u);  // the zero bucket
+  EXPECT_EQ(nonpositive.buckets[0].second, 2u);
+  EXPECT_DOUBLE_EQ(telemetry::sketch_quantile(nonpositive, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(nonpositive.min, -7.5);  // min/max stay exact
+
+  // Positive subnormals underflow into the first LOG bucket, not the
+  // zero bucket: they are real positive observations.
+  telemetry::Sketch tiny;
+  tiny.observe(std::numeric_limits<double>::denorm_min());
+  const telemetry::SketchSnapshot denormal = tiny.snapshot();
+  ASSERT_EQ(denormal.buckets.size(), 1u);
+  EXPECT_EQ(denormal.buckets[0].first, 1u);
+  EXPECT_DOUBLE_EQ(telemetry::sketch_quantile(denormal, 0.5),
+                   std::ldexp(1.0, telemetry::Sketch::kMinExponent));
+}
+
+TEST(Sketch, SingleObservationReportsItsBucketAtEveryQuantile) {
+  const ScopedEnable enable;
+  telemetry::Sketch sketch;
+  sketch.observe(3.0);
+  const telemetry::SketchSnapshot snap = sketch.snapshot();
+  const double expected = telemetry::Sketch::bucket_lower_bound(
+      telemetry::Sketch::bucket_index(3.0));
+  for (const double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(telemetry::sketch_quantile(snap, q), expected);
+  }
+  EXPECT_DOUBLE_EQ(snap.max, 3.0);
+  EXPECT_DOUBLE_EQ(snap.min, 3.0);
+}
+
+// Memory attribution: live/high-water bookkeeping, the ScopedBytes kill
+// switch latch, and the JSON block's checker invariants.
+TEST(Memory, ChannelTracksLiveAndHighWater) {
+  const ScopedEnable enable;
+  auto& accountant = telemetry::MemoryAccountant::global();
+  accountant.reset();
+  auto& channel = accountant.channel("memtest");
+  channel.charge(100);
+  channel.charge(50);
+  EXPECT_EQ(channel.live_bytes(), 150u);
+  EXPECT_EQ(channel.high_water_bytes(), 150u);
+  channel.release(120);
+  EXPECT_EQ(channel.live_bytes(), 30u);
+  EXPECT_EQ(channel.high_water_bytes(), 150u);  // the mark stays
+  channel.charge(40);
+  EXPECT_EQ(channel.high_water_bytes(), 150u);  // 70 live < old peak
+  accountant.reset();
+}
+
+TEST(Memory, ScopedBytesChargesForTheScopeOnly) {
+  const ScopedEnable enable;
+  auto& accountant = telemetry::MemoryAccountant::global();
+  accountant.reset();
+  {
+    SOR_SCOPED_BYTES("memtest", 4096);
+    EXPECT_EQ(accountant.channel("memtest").live_bytes(), 4096u);
+  }
+  EXPECT_EQ(accountant.channel("memtest").live_bytes(), 0u);
+  EXPECT_EQ(accountant.channel("memtest").high_water_bytes(), 4096u);
+  accountant.reset();
+}
+
+TEST(Memory, KillSwitchMakesScopedBytesANoop) {
+  const ScopedEnable disable(false);
+  auto& accountant = telemetry::MemoryAccountant::global();
+  accountant.reset();
+  {
+    SOR_SCOPED_BYTES("memtest", 4096);
+    EXPECT_EQ(accountant.channel("memtest").live_bytes(), 0u);
+  }
+  EXPECT_EQ(accountant.channel("memtest").high_water_bytes(), 0u);
+}
+
+TEST(Memory, UsageAndJsonHoldCheckerInvariants) {
+  const telemetry::MemoryUsage usage = telemetry::sample_memory_usage();
+  EXPECT_GE(usage.peak_rss_bytes, usage.current_rss_bytes);
+#ifdef __linux__
+  EXPECT_GT(usage.current_rss_bytes, 0u);  // /proc/self/status exists
+#endif
+
+  const ScopedEnable enable;
+  auto& accountant = telemetry::MemoryAccountant::global();
+  accountant.reset();
+  accountant.channel("memjson").charge(256);
+  accountant.channel("memjson").release(56);
+  const telemetry::JsonValue block = telemetry::memory_to_json();
+  EXPECT_GE(block.at("peak_rss_bytes").as_number(),
+            block.at("current_rss_bytes").as_number());
+  const telemetry::JsonValue& sub = block.at("subsystems").at("memjson");
+  EXPECT_DOUBLE_EQ(sub.at("live_bytes").as_number(), 200.0);
+  EXPECT_DOUBLE_EQ(sub.at("high_water_bytes").as_number(), 256.0);
+  accountant.reset();
 }
 
 }  // namespace

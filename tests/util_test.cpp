@@ -5,9 +5,11 @@
 
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <set>
 #include <sstream>
 
+#include "telemetry/artifact.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -342,6 +344,32 @@ TEST(StatsSummary, HistogramClampedBoundaryBin) {
   EXPECT_DOUBLE_EQ(s.p50, 3.5);
   EXPECT_DOUBLE_EQ(s.p99, 3.5);
   EXPECT_DOUBLE_EQ(s.max, 3.5);
+}
+
+// Satellite: the human-readable formatters meet negative and non-finite
+// values when rendering corrupt or sentinel metrics; they must degrade to
+// spelled-out text instead of scaling garbage.
+TEST(Format, SecondsHandlesNegativeAndNonFinite) {
+  using telemetry::format_seconds;
+  EXPECT_EQ(format_seconds(2.41), "2.41 s");
+  EXPECT_EQ(format_seconds(-2.41), "-2.41 s");
+  EXPECT_EQ(format_seconds(-0.0025), "-2.5 ms");
+  EXPECT_EQ(format_seconds(0.0), "0 s");
+  EXPECT_EQ(format_seconds(std::numeric_limits<double>::quiet_NaN()), "nan");
+  EXPECT_EQ(format_seconds(std::numeric_limits<double>::infinity()), "inf s");
+  EXPECT_EQ(format_seconds(-std::numeric_limits<double>::infinity()),
+            "-inf s");
+}
+
+TEST(Format, QuantityHandlesNegativeAndNonFinite) {
+  using telemetry::format_quantity;
+  EXPECT_EQ(format_quantity(1500.0), "1.5k");
+  EXPECT_EQ(format_quantity(-1500.0), "-1.5k");
+  EXPECT_EQ(format_quantity(-3.0), "-3");
+  EXPECT_EQ(format_quantity(std::numeric_limits<double>::quiet_NaN()), "nan");
+  EXPECT_EQ(format_quantity(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(format_quantity(-std::numeric_limits<double>::infinity()),
+            "-inf");
 }
 
 }  // namespace
