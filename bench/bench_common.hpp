@@ -59,7 +59,12 @@ namespace sor::bench {
 // plus per-subsystem live-bytes high-water marks, see
 // src/telemetry/memory.hpp). Both key the run ledger (`sor_cli ledger
 // append` / `trend`).
-inline constexpr int kArtifactSchemaVersion = 6;
+// v7: added the "quality" block (routing-quality observatory: sampled
+// shadow-optimal regret series with p50/p95/max, per-epoch predictor
+// MAPE + worst pair, activation/weight/top-path churn series — see
+// src/engine/quality.hpp). Feeds `sor_cli quality` and the trend gate's
+// regret_p95/predictor_mape metrics.
+inline constexpr int kArtifactSchemaVersion = 7;
 
 namespace detail {
 // Captured at static initialization — close enough to process start for

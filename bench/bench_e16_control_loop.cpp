@@ -18,6 +18,7 @@
 #include "bench_common.hpp"
 #include "core/attribution.hpp"
 #include "demand/generators.hpp"
+#include "engine/quality.hpp"
 #include "engine/replay.hpp"
 #include "graph/generators.hpp"
 
@@ -41,6 +42,11 @@ EngineRunConfig base_config(const std::string& wan, std::size_t epochs) {
   config.seed = 16;
   config.trace.num_epochs = epochs;
   config.engine.warm_start = true;
+  // Routing-quality observatory: shadow-optimal regret every 2nd epoch.
+  // Quality options ride the in-memory config (so the cold replay runs
+  // them too) but are NOT serialized into E16_record.txt — the replay
+  // fixtures re-pass --shadow-every on the CLI.
+  config.engine.quality.shadow_every = 2;
   return config;
 }
 
@@ -52,6 +58,8 @@ void add_mode_row(sor::Table& table, const std::string& wan,
        sor::Table::fmt(result.congestion_summary.p50, 4),
        sor::Table::fmt(result.congestion_summary.max, 4),
        sor::Table::fmt(result.prediction_error_summary.mean, 4),
+       sor::Table::fmt(result.regret_summary.p95, 4),
+       sor::Table::fmt(result.predictor_mape_summary.mean, 4),
        sor::Table::fmt_int(static_cast<long long>(result.warm_accepts)),
        sor::Table::fmt_int(static_cast<long long>(result.total_churn)),
        sor::Table::fmt(result.total_solve_ms, 2)});
@@ -98,7 +106,8 @@ int main() {
   const std::size_t epochs = sor::bench::scaled(48, 12);
 
   sor::Table table({"topology", "mode", "epochs", "cong_p50", "cong_max",
-                    "pred_err", "warm_accepts", "churn", "solve_ms"});
+                    "pred_err", "regret_p95", "mape", "warm_accepts", "churn",
+                    "solve_ms"});
 
   // Abilene: the recorded run. Warm first (this is the record the replay
   // fixture re-runs), then the identical trace replayed cold.
@@ -142,6 +151,11 @@ int main() {
   std::vector<std::pair<std::string, JsonValue>> extra;
   extra.emplace_back("e16", std::move(e16));
   extra.emplace_back("attribution", attribution_json(config));
+  // Schema v7: the quality block of the canonical (warm) run — regret,
+  // predictor error, and churn series for `sor_cli quality` + the trend
+  // gate's regret_p95 / predictor_mape metrics.
+  extra.emplace_back("quality", sor::engine::quality_to_json(
+                                    warm.result, config.engine.quality));
   const bool ok = sor::bench::emit(kId, kClaim, table, std::move(extra));
   std::cout << "side artifacts: E16_record.txt, E16_digest.json\n";
   return ok ? 0 : 1;

@@ -1,6 +1,9 @@
 // Validates a BENCH_<id>.json artifact against the schema documented in
 // EXPERIMENTS.md. Exits 0 if the document parses and every required key
 // has the right shape; prints the first violation and exits 1 otherwise.
+// Artifacts stamped with a schema_version NEWER than this checker knows
+// (> 7) exit with the dedicated code 3: "rebuild the checker", not "the
+// artifact is broken". Usage errors exit 2.
 //
 // Usage: check_bench_json <path/to/BENCH_E1.json>
 //        check_bench_json --chrome-trace <path/to/trace.json>
@@ -33,6 +36,14 @@
 namespace {
 
 using sor::telemetry::JsonValue;
+
+/// Highest schema_version this checker understands; keep in lockstep with
+/// bench_common.hpp's kArtifactSchemaVersion.
+constexpr int kMaxKnownSchemaVersion = 7;
+/// Exit code for artifacts from a NEWER schema than this build knows.
+/// Distinct from 1 (schema violation) and 2 (usage) so fixtures and CI
+/// can tell "stale checker" apart from "broken artifact".
+constexpr int kExitUnknownVersion = 3;
 
 void require(bool ok, const std::string& what) {
   if (!ok) {
@@ -361,6 +372,117 @@ void check_memory(const JsonValue& doc) {
 /// as a restart to epoch 0 — a process that drives several control
 /// loops (E16 runs warm and cold modes back to back) rolls each run's
 /// epochs from 0 into the same window ring.
+/// The v7 routing-quality block (src/engine/quality.hpp): sampled regret
+/// series (parallel arrays over the shadow epochs), per-epoch predictor
+/// scores with -1/null bootstrap sentinels, and per-epoch churn series.
+void check_quality(const JsonValue& doc) {
+  check_member(doc, "quality", JsonValue::Kind::kObject, "object");
+  const JsonValue& quality = doc.at("quality");
+  check_member(quality, "shadow_every", JsonValue::Kind::kNumber, "number");
+  check_member(quality, "shadow_epsilon", JsonValue::Kind::kNumber, "number");
+  check_member(quality, "epochs", JsonValue::Kind::kNumber, "number");
+  check_member(quality, "shadow_solves", JsonValue::Kind::kNumber, "number");
+  const double eps = quality.at("shadow_epsilon").as_number();
+  require(eps > 0 && eps < 1, "quality/shadow_epsilon outside (0, 1)");
+  const std::size_t epochs =
+      static_cast<std::size_t>(quality.at("epochs").as_number());
+
+  check_member(quality, "regret", JsonValue::Kind::kObject, "object");
+  const JsonValue& regret = quality.at("regret");
+  for (const char* key : {"epochs", "achieved", "shadow_opt", "lower_bound",
+                          "ratio"}) {
+    check_member(regret, key, JsonValue::Kind::kArray, "array");
+  }
+  const std::size_t samples = regret.at("epochs").size();
+  require(samples == quality.at("shadow_solves").as_number(),
+          "quality/shadow_solves disagrees with quality/regret/epochs");
+  for (const char* key : {"achieved", "shadow_opt", "lower_bound", "ratio"}) {
+    require(regret.at(key).size() == samples,
+            std::string("quality/regret/") + key +
+                " length disagrees with quality/regret/epochs");
+  }
+  double last_epoch = -1;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const std::string where = "quality/regret[" + std::to_string(i) + "]";
+    const double epoch = regret.at("epochs").at(i).as_number();
+    require(epoch > last_epoch, where + " epochs not strictly increasing");
+    require(epoch < static_cast<double>(epochs),
+            where + " epoch index out of range");
+    last_epoch = epoch;
+    const double achieved = regret.at("achieved").at(i).as_number();
+    const double opt = regret.at("shadow_opt").at(i).as_number();
+    const double lb = regret.at("lower_bound").at(i).as_number();
+    const double ratio = regret.at("ratio").at(i).as_number();
+    require(achieved >= 0, where + " achieved congestion negative");
+    require(opt >= 0, where + " shadow_opt negative");
+    require(lb <= opt * (1 + 1e-9) + 1e-12,
+            where + " lower_bound exceeds the shadow primal");
+    if (opt > 0) {
+      require(std::abs(ratio * opt - achieved) <=
+                  1e-9 * std::max(1.0, achieved),
+              where + " ratio inconsistent with achieved/shadow_opt");
+      // achieved >= OPT and shadow_opt <= (1+eps)·OPT, so the reported
+      // ratio can undershoot 1 by at most the shadow epsilon.
+      require(ratio >= 1.0 / (1.0 + eps) - 1e-6,
+              where + " regret ratio below the 1/(1+eps) floor (achieved "
+                      "congestion beat the shadow optimum by more than the "
+                      "solver gap)");
+    }
+  }
+  for (const char* key : {"p50", "p95", "max"}) {
+    check_member(regret, key, JsonValue::Kind::kNumber, "number");
+    require(regret.at(key).as_number() >= 0,
+            std::string("quality/regret/") + key + " is negative");
+  }
+  check_member(regret, "truncated", JsonValue::Kind::kNumber, "number");
+  require(regret.at("truncated").as_number() <= static_cast<double>(samples),
+          "quality/regret/truncated exceeds the sample count");
+
+  check_member(quality, "predictor", JsonValue::Kind::kObject, "object");
+  const JsonValue& predictor = quality.at("predictor");
+  for (const char* key : {"mape", "worst_pair_error", "worst_pair"}) {
+    check_member(predictor, key, JsonValue::Kind::kArray, "array");
+    require(predictor.at(key).size() == epochs,
+            std::string("quality/predictor/") + key +
+                " length disagrees with quality/epochs");
+  }
+  std::size_t scored = 0;
+  for (std::size_t i = 0; i < epochs; ++i) {
+    const std::string where = "quality/predictor[" + std::to_string(i) + "]";
+    const double mape = predictor.at("mape").at(i).as_number();
+    require(mape >= -1, where + " mape below the -1 bootstrap sentinel");
+    if (mape >= 0) ++scored;
+    const JsonValue& pair = predictor.at("worst_pair").at(i);
+    require(pair.is_null() || (pair.is_array() && pair.size() == 2),
+            where + " worst_pair is neither null nor a [src, dst] pair");
+    require(mape >= 0 || pair.is_null(),
+            where + " bootstrap epoch carries a worst pair");
+  }
+  check_member(predictor, "scored_epochs", JsonValue::Kind::kNumber, "number");
+  require(predictor.at("scored_epochs").as_number() ==
+              static_cast<double>(scored),
+          "quality/predictor/scored_epochs disagrees with the mape series");
+  for (const char* key : {"mape_mean", "mape_max"}) {
+    check_member(predictor, key, JsonValue::Kind::kNumber, "number");
+    require(predictor.at(key).as_number() >= 0,
+            std::string("quality/predictor/") + key + " is negative");
+  }
+
+  check_member(quality, "churn", JsonValue::Kind::kObject, "object");
+  const JsonValue& churn = quality.at("churn");
+  check_series(churn, "mask_hamming", epochs, "quality/churn");
+  check_series(churn, "weight_l1", epochs, "quality/churn");
+  check_series(churn, "top_path_flips", epochs, "quality/churn");
+  check_member(churn, "total_top_path_flips", JsonValue::Kind::kNumber,
+               "number");
+  double total_flips = 0;
+  for (std::size_t i = 0; i < epochs; ++i) {
+    total_flips += churn.at("top_path_flips").at(i).as_number();
+  }
+  require(churn.at("total_top_path_flips").as_number() == total_flips,
+          "quality/churn/total_top_path_flips disagrees with its series");
+}
+
 void check_health_window(const JsonValue& window, const std::string& where) {
   require(window.is_array(), where + " is not an array");
   double last_epoch = -1;
@@ -575,9 +697,18 @@ int main(int argc, char** argv) {
   check_member(doc, "schema_version", JsonValue::Kind::kNumber, "number");
   require(doc.at("schema_version").as_number() >= 3,
           "schema_version < 3 (artifact written by an old bench build)");
+  if (doc.at("schema_version").as_number() > kMaxKnownSchemaVersion) {
+    std::fprintf(stderr,
+                 "unknown schema_version %g (this checker understands <= %d; "
+                 "artifact written by a newer bench build — rebuild the "
+                 "checker)\n",
+                 doc.at("schema_version").as_number(), kMaxKnownSchemaVersion);
+    return kExitUnknownVersion;
+  }
   const bool has_cache_block = doc.at("schema_version").as_number() >= 4;
   const bool has_health_block = doc.at("schema_version").as_number() >= 5;
   const bool has_provenance_block = doc.at("schema_version").as_number() >= 6;
+  const bool has_quality_block = doc.at("schema_version").as_number() >= 7;
   require(has_cache_block || !require_cache_hits,
           "--require-cache-hits needs a schema v4+ artifact");
   check_member(doc, "experiment", JsonValue::Kind::kString, "string");
@@ -630,6 +761,9 @@ int main(int argc, char** argv) {
     check_provenance(doc);
     check_memory(doc);
   }
+  // The quality block is per-bench opt-in (only control-loop benches have
+  // an epoch structure to observe), so validate it wherever it appears.
+  if (has_quality_block && doc.has("quality")) check_quality(doc);
   if (require_cache_hits) {
     const JsonValue& cache = doc.at("cache");
     require(cache.at("enabled").as_bool(),
@@ -677,6 +811,17 @@ int main(int argc, char** argv) {
               "E16 health block has no engine/congestion watermark");
       require(doc.at("health").at("epochs_rolled").as_number() > 0,
               "E16 health block rolled no epoch windows");
+    }
+    if (has_quality_block) {
+      // The control-loop bench must carry the observatory's output: a
+      // quality block with at least one shadow sample (E16 runs with
+      // shadow_every = 2) and a scored prediction.
+      require(doc.has("quality"), "E16 artifact is missing quality block");
+      const JsonValue& quality = doc.at("quality");
+      require(quality.at("shadow_solves").as_number() > 0,
+              "E16 quality block has no shadow samples (observatory off?)");
+      require(quality.at("predictor").at("scored_epochs").as_number() > 0,
+              "E16 quality block scored no predictions");
     }
   }
 

@@ -1,0 +1,25 @@
+# Runs `${CHECKER} ${ARTIFACT}` and asserts the EXACT exit code — ctest's
+# WILL_FAIL can only assert "nonzero", but the schema checker's contract
+# distinguishes exit 1 (schema violation) from exit 3 (artifact written by
+# a newer bench build: unknown future schema_version).
+#
+# Usage:
+#   cmake -DCHECKER=<path> -DARTIFACT=<path> -DEXPECTED=<code> \
+#         -P expect_exit_code.cmake
+
+if(NOT DEFINED CHECKER OR NOT DEFINED ARTIFACT OR NOT DEFINED EXPECTED)
+  message(FATAL_ERROR
+    "expect_exit_code.cmake needs -DCHECKER, -DARTIFACT and -DEXPECTED")
+endif()
+
+execute_process(
+  COMMAND ${CHECKER} ${ARTIFACT}
+  RESULT_VARIABLE result
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+if(NOT result EQUAL ${EXPECTED})
+  message(FATAL_ERROR
+    "expected exit ${EXPECTED} from ${CHECKER} ${ARTIFACT}, got "
+    "'${result}'\nstdout:\n${out}\nstderr:\n${err}")
+endif()

@@ -6,6 +6,7 @@
 //   sor_cli engine replay --record FILE [--digest FILE] [--trace]
 //   sor_cli monitor       [engine-run options]
 //   sor_cli slo BENCH_x.json [--slo-config FILE]
+//   sor_cli quality BENCH_x.json
 //   sor_cli report BENCH_x.json
 //   sor_cli diff OLD.json NEW.json [diff options]
 //   sor_cli profile BENCH_x.json
@@ -42,10 +43,18 @@
 //   --record FILE     save the run record (trace + config) for replay
 //   --digest FILE     write the deterministic run digest (JSON)
 //   --slo-config FILE JSON health bounds (max_congestion, solve_p99_ms,
-//                     min_cache_hit_rate); breaches print after the run
-//                     and flip the exit code to the health status
+//                     min_cache_hit_rate, max_regret, max_predictor_mape);
+//                     breaches print after the run and flip the exit code
+//                     to the health status
 //   --prom-out FILE   write a Prometheus text-exposition snapshot of the
 //                     full telemetry + health state at exit
+//   --shadow-every N  routing-quality observatory: run the shadow-optimal
+//                     MCF on the realized matrix every N epochs and track
+//                     the regret ratio (0 = off). Deterministic, but NOT
+//                     stored in the record — pass it to replay again
+//   --quality-out FILE  write the run's quality block (regret, predictor
+//                     error, churn series) as JSON; byte-identical under
+//                     record/replay with the same --shadow-every
 //
 // Health tooling:
 //   sor_cli monitor [engine-run options]
@@ -59,8 +68,13 @@
 //   sor_cli slo BENCH_x.json [--slo-config FILE]
 //                                 offline SLO check of an artifact's
 //                                 health block: reports run-time breaches
-//                                 and re-evaluates the config's bounds;
-//                                 exits nonzero on any violation
+//                                 and re-evaluates the config's bounds
+//                                 (including max_regret /
+//                                 max_predictor_mape vs the quality
+//                                 block); exits nonzero on any violation
+//   sor_cli quality BENCH_x.json  per-epoch regret / predictor-error /
+//                                 churn table from the artifact's quality
+//                                 block (schema v7)
 //
 // Artifact tooling:
 //   sor_cli report BENCH_x.json   human-readable artifact summary (table,
@@ -195,6 +209,22 @@ int report_main(int argc, char** argv) {
   if (!doc) return 2;
   try {
     sor::telemetry::render_artifact_report(*doc, std::cout);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}
+
+int quality_main(int argc, char** argv) {
+  if (argc != 3) {
+    std::cerr << "usage: sor_cli quality BENCH_x.json\n";
+    return 2;
+  }
+  const auto doc = load_json(argv[2]);
+  if (!doc) return 2;
+  try {
+    sor::telemetry::render_artifact_quality(*doc, std::cout);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
@@ -420,6 +450,7 @@ int trend_main(int argc, char** argv) {
                "       sor_cli engine run|replay [options]\n"
                "       sor_cli monitor [engine-run options]\n"
                "       sor_cli slo BENCH_x.json [--slo-config FILE]\n"
+               "       sor_cli quality BENCH_x.json\n"
                "       sor_cli report BENCH_x.json\n"
                "       sor_cli diff OLD.json NEW.json [options]\n"
                "       sor_cli profile BENCH_x.json\n"
@@ -492,9 +523,10 @@ std::unique_ptr<sor::ObliviousRouting> make_source(const std::string& name,
                "[--epochs N] [--predictor ewma|peak] [--backend mwu|exact] "
                "[--churn-budget N] [--cold] [--solve-deadline-ms N] "
                "[--record FILE] [--digest FILE] [--slo-config FILE] "
-               "[--prom-out FILE] [--trace] [--cache-dir DIR]\n"
+               "[--prom-out FILE] [--shadow-every N] [--quality-out FILE] "
+               "[--trace] [--cache-dir DIR]\n"
                "       sor_cli engine replay --record FILE [--digest FILE] "
-               "[--trace]\n"
+               "[--shadow-every N] [--quality-out FILE] [--trace]\n"
                "       sor_cli monitor [engine-run options] "
                "[--health-jsonl FILE]\n";
   std::exit(2);
@@ -510,6 +542,7 @@ struct EngineCli {
   std::string slo_config_path;
   std::string prom_out;
   std::string health_jsonl;
+  std::string quality_out;
   bool trace_spans = false;
 };
 
@@ -559,6 +592,10 @@ EngineCli parse_engine_flags(int argc, char** argv, int start) {
       cli.config.engine.warm_start = false;
     } else if (flag == "--solve-deadline-ms") {
       cli.config.engine.solve_deadline_ms = std::stoull(value());
+    } else if (flag == "--shadow-every") {
+      cli.config.engine.quality.shadow_every = std::stoull(value());
+    } else if (flag == "--quality-out") {
+      cli.quality_out = value();
     } else if (flag == "--record") {
       cli.record_path = value();
     } else if (flag == "--digest") {
@@ -616,14 +653,18 @@ bool write_prom_out(const std::string& path) {
 
 void print_engine_result(const sor::engine::EngineRunRecord& record,
                          const sor::engine::ControlLoopResult& result) {
-  sor::Table table({"epoch", "events", "fail", "pred_err", "congestion",
-                    "warm", "phases", "trunc", "churn", "solve_ms"});
+  sor::Table table({"epoch", "events", "fail", "pred_err", "regret",
+                    "congestion", "warm", "phases", "trunc", "churn",
+                    "solve_ms"});
   for (const sor::engine::EpochReport& r : result.epochs) {
     table.add_row(
         {sor::Table::fmt_int(static_cast<long long>(r.epoch)),
          sor::Table::fmt_int(static_cast<long long>(r.events)),
          sor::Table::fmt_int(static_cast<long long>(r.active_failures)),
-         sor::Table::fmt(r.prediction_error, 4), sor::Table::fmt(r.congestion, 4),
+         sor::Table::fmt(r.prediction_error, 4),
+         r.quality.shadow_sampled ? sor::Table::fmt(r.quality.regret, 4)
+                                  : std::string("-"),
+         sor::Table::fmt(r.congestion, 4),
          std::string(r.warm_accepted ? "yes" : "no"),
          sor::Table::fmt_int(static_cast<long long>(r.phases)),
          std::string(r.truncated ? "yes" : "no"),
@@ -640,7 +681,32 @@ void print_engine_result(const sor::engine::EngineRunRecord& record,
             << result.congestion_summary.max << "\n";
   std::cout << "prediction error mean: "
             << result.prediction_error_summary.mean << "\n";
+  if (result.shadow_solves > 0) {
+    std::cout << "regret p50/p95/max: " << result.regret_summary.p50 << " / "
+              << result.regret_summary.p95 << " / "
+              << result.regret_summary.max << " (" << result.shadow_solves
+              << " shadow solves)\n";
+    std::cout << "predictor mape mean: "
+              << result.predictor_mape_summary.mean << "\n";
+  }
   std::cout << "total solve time: " << result.total_solve_ms << " ms\n";
+}
+
+/// --quality-out: the run's quality block as pretty-printed JSON. Pure
+/// function of the deterministic run, so record/replay reruns with the
+/// same --shadow-every write byte-identical files (the fixture compares
+/// them directly).
+bool write_quality_out(const std::string& path,
+                       const sor::engine::ControlLoopResult& result,
+                       const sor::engine::QualityOptions& options) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "error: cannot write quality block to " << path << "\n";
+    return false;
+  }
+  os << sor::engine::quality_to_json(result, options).dump(2) << "\n";
+  std::cout << "wrote quality block to " << path << "\n";
+  return true;
 }
 
 void write_digest(const std::string& path,
@@ -685,6 +751,11 @@ int engine_main(int argc, char** argv) {
     if (!cli.digest_path.empty()) {
       write_digest(cli.digest_path, out.record, out.result);
     }
+    if (!cli.quality_out.empty() &&
+        !write_quality_out(cli.quality_out, out.result,
+                           cli.config.engine.quality)) {
+      return 1;
+    }
   } else if (sub == "replay") {
     if (cli.record_path.empty()) engine_usage("replay requires --record FILE");
     std::ifstream is(cli.record_path);
@@ -693,16 +764,22 @@ int engine_main(int argc, char** argv) {
       return 1;
     }
     sor::engine::EngineRunRecord record = sor::engine::load_record(is);
-    // The SLO config rides the command line, not the record (it is not a
-    // replay-record field), so a replay can be re-checked under new
-    // bounds.
+    // The SLO config and quality options ride the command line, not the
+    // record (neither is a replay-record field), so a replay can be
+    // re-checked under new bounds and re-run the same shadow sampling.
     record.config.engine.slo = cli.config.engine.slo;
+    record.config.engine.quality = cli.config.engine.quality;
     const sor::engine::ControlLoopResult result =
         sor::engine::replay_record(record);
     print_engine_result(record, result);
     print_breaches(result.breaches);
     health_status = result.health_status;
     if (!cli.digest_path.empty()) write_digest(cli.digest_path, record, result);
+    if (!cli.quality_out.empty() &&
+        !write_quality_out(cli.quality_out, result,
+                           record.config.engine.quality)) {
+      return 1;
+    }
   } else {
     engine_usage(("unknown engine subcommand " + sub).c_str());
   }
@@ -742,6 +819,7 @@ int monitor_main(int argc, char** argv) {
   using sor::telemetry::format_seconds;
   std::cout << std::left << std::setw(7) << "epoch" << std::right
             << std::setw(11) << "congestion" << std::setw(11) << "watermark"
+            << std::setw(9) << "regret" << std::setw(9) << "mape"
             << std::setw(11) << "p50" << std::setw(11) << "p95"
             << std::setw(11) << "p99" << std::setw(10) << "cache"
             << std::setw(10) << "rss" << std::setw(9) << "dropped"
@@ -751,6 +829,14 @@ int monitor_main(int argc, char** argv) {
     std::cout << std::left << std::setw(7) << r.epoch << std::right
               << std::setw(11) << sor::Table::fmt(r.congestion, 4)
               << std::setw(11) << sor::Table::fmt(h.congestion_watermark, 4)
+              << std::setw(9)
+              << (r.quality.shadow_sampled
+                      ? sor::Table::fmt(r.quality.regret, 3)
+                      : std::string("-"))
+              << std::setw(9)
+              << (r.quality.predictor_mape >= 0
+                      ? sor::Table::fmt(r.quality.predictor_mape, 3)
+                      : std::string("-"))
               << std::setw(11) << format_seconds(h.solve_p50_ms / 1e3)
               << std::setw(11) << format_seconds(h.solve_p95_ms / 1e3)
               << std::setw(11) << format_seconds(h.solve_p99_ms / 1e3)
@@ -874,6 +960,9 @@ int main(int argc, char** argv) {
   }
   if (argc >= 2 && std::strcmp(argv[1], "report") == 0) {
     return report_main(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "quality") == 0) {
+    return quality_main(argc, argv);
   }
   if (argc >= 2 && std::strcmp(argv[1], "diff") == 0) {
     return diff_main(argc, argv);

@@ -238,6 +238,73 @@ std::uint64_t PathActivation::digest() const {
   return h;
 }
 
+std::vector<ActivationFlag> PathActivation::flag_snapshot() const {
+  std::vector<ActivationFlag> flags;
+  if (system_ == nullptr) return flags;
+  // Base candidates in the digest's enumeration order: sorted pairs,
+  // candidate-index order within each pair.
+  for (const VertexPair& pair : system_->pairs()) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(pair.a) << 32) |
+                              static_cast<std::uint64_t>(pair.b);
+    const std::size_t count = system_->canonical_paths(pair.a, pair.b).size();
+    for (std::size_t i = 0; i < count; ++i) {
+      flags.push_back({key, static_cast<std::uint32_t>(i), false,
+                       is_active(pair.a, pair.b, i)});
+    }
+  }
+  // Extras (which may cover pairs outside the system) in sorted pair
+  // order, install order within the pair.
+  std::vector<VertexPair> extra_pairs;
+  extra_pairs.reserve(extras_.size());
+  for (const auto& [pair, list] : extras_) extra_pairs.push_back(pair);
+  std::sort(extra_pairs.begin(), extra_pairs.end(),
+            [](const VertexPair& x, const VertexPair& y) {
+              return std::tie(x.a, x.b) < std::tie(y.a, y.b);
+            });
+  for (const VertexPair& pair : extra_pairs) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(pair.a) << 32) |
+                              static_cast<std::uint64_t>(pair.b);
+    const std::vector<Extra>& list = extras_.at(pair);
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      flags.push_back({key, static_cast<std::uint32_t>(i), true,
+                       list[i].active});
+    }
+  }
+  // Keep the overall vector sorted by (pair, extra, index) so snapshots
+  // from different epochs merge-compare directly.
+  std::sort(flags.begin(), flags.end(),
+            [](const ActivationFlag& x, const ActivationFlag& y) {
+              return std::tie(x.pair_key, x.extra, x.index) <
+                     std::tie(y.pair_key, y.extra, y.index);
+            });
+  return flags;
+}
+
+std::size_t activation_hamming(std::span<const ActivationFlag> before,
+                               std::span<const ActivationFlag> after) {
+  const auto key = [](const ActivationFlag& f) {
+    return std::tie(f.pair_key, f.extra, f.index);
+  };
+  std::size_t distance = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < before.size() && j < after.size()) {
+    if (key(before[i]) == key(after[j])) {
+      if (before[i].active != after[j].active) ++distance;
+      ++i;
+      ++j;
+    } else if (key(before[i]) < key(after[j])) {
+      ++distance;  // candidate vanished
+      ++i;
+    } else {
+      ++distance;  // candidate appeared (e.g. a fresh fallback install)
+      ++j;
+    }
+  }
+  distance += (before.size() - i) + (after.size() - j);
+  return distance;
+}
+
 PathSystem merge(const PathSystem& a, const PathSystem& b) {
   PathSystem out = a;
   for (const VertexPair& pair : b.pairs()) {

@@ -9,6 +9,8 @@
 // replacement, and the weak-routing process weights paths per sampled
 // instance.
 
+#include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -54,6 +56,26 @@ class PathSystem {
   std::unordered_map<VertexPair, std::vector<Path>, VertexPairHash> paths_;
 };
 
+/// One candidate's activation flag in a PathActivation snapshot. The key
+/// (pair, extra, index) identifies the candidate independently of the
+/// flag value; snapshots are emitted sorted by (pair, extra, index).
+struct ActivationFlag {
+  std::uint64_t pair_key = 0;  // (a << 32) | b, canonical orientation
+  std::uint32_t index = 0;     // base candidate index, or extra index
+  bool extra = false;
+  bool active = true;
+
+  friend bool operator==(const ActivationFlag&,
+                         const ActivationFlag&) = default;
+};
+
+/// Hamming distance between two flag snapshots of the SAME mask at
+/// different epochs: flags that flipped, plus candidates present in only
+/// one snapshot (a newly installed fallback counts as churn). Both inputs
+/// must be flag_snapshot() outputs (sorted by key).
+std::size_t activation_hamming(std::span<const ActivationFlag> before,
+                               std::span<const ActivationFlag> after);
+
 /// Activation mask over a PathSystem — the control plane's view of which
 /// installed candidates are currently usable. Link failures deactivate
 /// candidates, recoveries reactivate them, and fallback paths installed
@@ -95,6 +117,15 @@ class PathActivation {
   /// activate the same candidate sets — the epoch controller keys its
   /// per-epoch candidate memo on this.
   std::uint64_t digest() const;
+
+  /// Deterministic flattened flag vector: base candidates of every pair
+  /// in sorted pair / index order, then every extra (sorted pair order,
+  /// install order within the pair). Keys are stable across epochs — the
+  /// base layout is fixed and extras are append-only — so two snapshots
+  /// of the same mask align by key and their Hamming distance (differing
+  /// flags plus keys present in only one snapshot) is the mask churn
+  /// between epochs. See activation_hamming.
+  std::vector<ActivationFlag> flag_snapshot() const;
 
  private:
   const PathSystem* system_ = nullptr;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <optional>
 
+#include "lp/shadow.hpp"
 #include "telemetry/memory.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/observer.hpp"
@@ -22,8 +23,11 @@ EpochController::EpochController(const Graph& g, const PathSystem& system,
       repairer_(g, system, options.repair),
       predictor_(make_predictor(options.predictor, options.ewma_alpha,
                                 options.peak_window)),
-      slo_(options.slo) {
+      slo_(options.slo),
+      quality_(options.quality) {
   SOR_CHECK(options.epsilon > 0 && options.epsilon < 1);
+  SOR_CHECK(options.quality.shadow_epsilon > 0 &&
+            options.quality.shadow_epsilon < 1);
 }
 
 RestrictedProblem EpochController::build_problem(const Demand& demand) const {
@@ -158,10 +162,18 @@ EpochReport EpochController::step(std::span<const Event> events,
     } else {
       target = predictor_->predict();
       report.prediction_error = relative_l1_error(target, realized);
+      // Observatory: per-pair scoring of the same pending prediction.
+      const PredictorScore score = score_prediction(target, realized);
+      report.quality.predictor_mape = score.mape;
+      report.quality.worst_pair_error = score.worst_error;
+      report.quality.worst_src = score.worst_src;
+      report.quality.worst_dst = score.worst_dst;
       telemetry::Recorder::global().record(
           "engine/predict",
           {{"epoch", static_cast<std::uint64_t>(report.epoch)},
-           {"error", report.prediction_error}});
+           {"error", report.prediction_error},
+           {"mape", score.mape},
+           {"worst_pair_error", score.worst_error}});
     }
   }
   report.predicted_total = target.total();
@@ -262,6 +274,51 @@ EpochReport EpochController::step(std::span<const Event> events,
         realized_problem, remap_fractions(realized_problem));
     report.congestion = applied.congestion;
   }
+  // Routing-quality observatory: install churn every epoch, the shadow-
+  // optimal regret solve on sampled epochs. All deterministic (the shadow
+  // MCF is deterministic and the sample points are a pure function of the
+  // epoch index), so quality figures replay byte-identically — but they
+  // stay out of the replay digest v1 (see EngineOptions::quality).
+  quality_.observe_install(repairer_.activation(), installed_, report.quality);
+  if (quality_.shadow_due(report.epoch)) {
+    SOR_SPAN("engine/shadow");
+    ShadowSolveOptions shadow_options;
+    shadow_options.epsilon = options_.quality.shadow_epsilon;
+    const ShadowSolveResult shadow =
+        solve_shadow_optimal(*graph_, realized, shadow_options);
+    report.quality.shadow_sampled = true;
+    report.quality.shadow_opt = shadow.opt_congestion;
+    report.quality.shadow_lower_bound = shadow.lower_bound;
+    report.quality.shadow_truncated = shadow.truncated;
+    report.quality.regret = shadow.opt_congestion > 0
+                                ? report.congestion / shadow.opt_congestion
+                                : 0;
+    SOR_COUNTER("engine/shadow_solves").add();
+    telemetry::Recorder::global().record(
+        "engine/shadow",
+        {{"epoch", static_cast<std::uint64_t>(report.epoch)},
+         {"achieved", report.congestion},
+         {"shadow_opt", shadow.opt_congestion},
+         {"regret", report.quality.regret},
+         {"truncated", shadow.truncated}});
+  }
+  // Quality windows + sketches; the quality/... names export through
+  // Prometheus as sor_quality_*. Regret and MAPE only feed on the epochs
+  // that produced them, so their sketches never see sentinel values.
+  if (report.quality.shadow_sampled) {
+    SOR_SKETCH("quality/regret").observe(report.quality.regret);
+    SOR_WINDOW_GAUGE("quality/regret").set(report.quality.regret);
+  }
+  if (report.quality.predictor_mape >= 0) {
+    SOR_SKETCH("quality/predictor_mape").observe(report.quality.predictor_mape);
+    SOR_WINDOW_GAUGE("quality/predictor_mape")
+        .set(report.quality.predictor_mape);
+  }
+  SOR_RATE("quality/mask_churn").add(report.quality.mask_churn);
+  SOR_RATE("quality/top_path_flips").add(report.quality.top_path_flips);
+  SOR_WINDOW_GAUGE("quality/weight_l1_drift")
+      .set(report.quality.weight_l1_drift);
+
   SOR_GAUGE("engine/last_congestion").set(report.congestion);
   SOR_COUNTER("engine/epochs").add();
   telemetry::Recorder::global().record(
@@ -304,7 +361,9 @@ EpochReport EpochController::step(std::span<const Event> events,
   if (slo_.active()) {
     const std::vector<telemetry::SloBreach> epoch_breaches = slo_.check_epoch(
         report.epoch, report.congestion, report.health.solve_p99_ms,
-        report.health.cache_hit_rate);
+        report.health.cache_hit_rate,
+        report.quality.shadow_sampled ? report.quality.regret : -1.0,
+        report.quality.predictor_mape);
     report.health.breaches = epoch_breaches.size();
     breaches_.insert(breaches_.end(), epoch_breaches.begin(),
                      epoch_breaches.end());
@@ -329,6 +388,7 @@ ControlLoopResult run_control_loop(
   EpochController controller(g, system, options);
   ControlLoopResult result;
   std::vector<double> congestions;
+  std::vector<double> regrets;
 
   for (std::size_t t = 0; t < trace.num_epochs; ++t) {
     const std::span<const Event> events = trace.events_at(t);
@@ -343,6 +403,11 @@ ControlLoopResult run_control_loop(
     result.warm_accepts += report.warm_accepted ? 1 : 0;
     result.total_churn += report.repair.churn();
     congestions.push_back(report.congestion);
+    if (report.quality.shadow_sampled) {
+      regrets.push_back(report.quality.regret);
+      ++result.shadow_solves;
+    }
+    result.total_top_path_flips += report.quality.top_path_flips;
     if (on_epoch) on_epoch(report);
     result.epochs.push_back(std::move(report));
   }
@@ -350,6 +415,8 @@ ControlLoopResult run_control_loop(
   result.prediction_error_summary = controller.prediction_errors();
   result.breaches = controller.breaches();
   result.health_status = controller.health_status();
+  result.regret_summary = summarize(regrets);
+  result.predictor_mape_summary = controller.prediction_mapes();
   return result;
 }
 

@@ -13,7 +13,10 @@
 //   4. installs the resulting split and measures the congestion the
 //      *realized* matrix experiences under it;
 //   5. feeds the realized matrix back into the predictor and saves the
-//      warm-start state for the next epoch.
+//      warm-start state for the next epoch;
+//   6. runs the routing-quality observatory (engine/quality): predictor
+//      scoring, install-churn tracking, and — on sampled epochs — the
+//      shadow-optimal regret solve.
 //
 // Everything is deterministic given the trace and the seed, which is what
 // makes trace replay (engine/replay) byte-identical.
@@ -28,6 +31,7 @@
 #include "core/path_system.hpp"
 #include "engine/event_trace.hpp"
 #include "engine/predictor.hpp"
+#include "engine/quality.hpp"
 #include "engine/repair.hpp"
 #include "lp/path_lp.hpp"
 #include "telemetry/sketch.hpp"
@@ -62,6 +66,13 @@ struct EngineOptions {
   /// wall-clock sketches, so breach sets are not byte-replayable and the
   /// replay digest excludes all health fields.
   telemetry::SloConfig slo;
+  /// Routing-quality observatory (engine/quality.hpp): shadow-optimal
+  /// regret sampling, predictor scoring, path churn. Fully deterministic
+  /// — quality figures replay byte-identically — but, like the SLO
+  /// config, NOT part of the replay record format: replay reruns must
+  /// pass --shadow-every again, and the digest v1 excludes all quality
+  /// fields so pre-observatory digests stay comparable.
+  QualityOptions quality;
 };
 
 /// Per-epoch health snapshot: the run-so-far solve-latency quantiles
@@ -113,6 +124,9 @@ struct EpochReport {
   double solve_ms = 0;
   /// Runtime health at this epoch's boundary (also digest-excluded).
   EpochHealth health;
+  /// Routing-quality figures (engine/quality.hpp). Deterministic but
+  /// digest-excluded — see EngineOptions::quality.
+  EpochQuality quality;
 };
 
 class EpochController {
@@ -128,6 +142,7 @@ class EpochController {
   const PathActivation& activation() const { return repairer_.activation(); }
   const PathRepairer& repairer() const { return repairer_; }
   StatsSummary prediction_errors() const { return predictor_->error_summary(); }
+  StatsSummary prediction_mapes() const { return predictor_->mape_summary(); }
   std::size_t epochs_run() const { return epoch_; }
   /// Every SLO breach detected so far (empty when options.slo is unset).
   const std::vector<telemetry::SloBreach>& breaches() const {
@@ -162,9 +177,7 @@ class EpochController {
   mutable std::uint64_t memo_digest_ = 0;
   mutable bool memo_valid_ = false;
   /// Installed split: pair → (path → fraction of the pair's demand).
-  std::unordered_map<VertexPair, std::unordered_map<Path, double, PathHash>,
-                     VertexPairHash>
-      installed_;
+  InstalledSplit installed_;
   std::vector<double> warm_lengths_;
   /// Controller-local solve-latency sketch: per-run quantiles for the
   /// EpochReport health snapshot (the global "engine/solve_seconds"
@@ -173,6 +186,7 @@ class EpochController {
   double congestion_watermark_ = 0;
   telemetry::SloTracker slo_;
   std::vector<telemetry::SloBreach> breaches_;
+  QualityTracker quality_;
 };
 
 struct ControlLoopResult {
@@ -187,6 +201,13 @@ struct ControlLoopResult {
   /// like every other wall-clock-derived field.
   std::vector<telemetry::SloBreach> breaches;
   int health_status = 0;
+  /// Quality aggregates: regret ratios over the shadow-sampled epochs,
+  /// MAPE over the scored (non-bootstrap) epochs, and total top-path
+  /// flips. Empty/zero when the observatory is off.
+  StatsSummary regret_summary;
+  StatsSummary predictor_mape_summary;
+  std::size_t shadow_solves = 0;
+  std::size_t total_top_path_flips = 0;
 };
 
 /// Drives a controller over a full trace: realized matrices from the

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <tuple>
+#include <vector>
 
 #include "util/check.hpp"
 
@@ -19,9 +21,46 @@ double relative_l1_error(const Demand& predicted, const Demand& realized) {
   return total > 0 ? diff / total : 0.0;
 }
 
+PredictorScore score_prediction(const Demand& predicted,
+                                const Demand& realized) {
+  // Union support in sorted order: the sum and the worst-pair tie-break
+  // must not depend on hash-map layout.
+  std::vector<VertexPair> support;
+  support.reserve(realized.entries().size() + predicted.entries().size());
+  for (const auto& [pair, amount] : realized.entries()) {
+    support.push_back(pair);
+  }
+  for (const auto& [pair, amount] : predicted.entries()) {
+    if (realized.at(pair.a, pair.b) == 0) support.push_back(pair);
+  }
+  std::sort(support.begin(), support.end(),
+            [](const VertexPair& x, const VertexPair& y) {
+              return std::tie(x.a, x.b) < std::tie(y.a, y.b);
+            });
+
+  PredictorScore score;
+  double sum = 0;
+  for (const VertexPair& pair : support) {
+    const double r = realized.at(pair.a, pair.b);
+    const double p = predicted.at(pair.a, pair.b);
+    const double error = r > 0 ? std::abs(p - r) / r : 1.0;
+    sum += error;
+    ++score.pairs;
+    if (score.pairs == 1 || error > score.worst_error) {
+      score.worst_error = error;
+      score.worst_src = pair.a;
+      score.worst_dst = pair.b;
+    }
+  }
+  if (score.pairs > 0) score.mape = sum / static_cast<double>(score.pairs);
+  return score;
+}
+
 void DemandPredictor::observe(const Demand& realized) {
   if (observations_ > 0) {
-    errors_.push_back(relative_l1_error(predict_impl(), realized));
+    const Demand pending = predict_impl();
+    errors_.push_back(relative_l1_error(pending, realized));
+    mapes_.push_back(score_prediction(pending, realized).mape);
   }
   update(realized);
   ++observations_;

@@ -28,6 +28,27 @@ namespace sor::engine {
 /// (0 if the realized matrix is empty).
 double relative_l1_error(const Demand& predicted, const Demand& realized);
 
+/// Per-pair scoring of one prediction against the realized matrix — the
+/// quality observatory's predictor figure. Each pair in the union support
+/// contributes its relative error |p − r| / r; "ghost" pairs the
+/// predictor invented (r == 0, p > 0) contribute 1 by convention (100%
+/// wrong, but bounded so one ghost cannot swamp the mean). The worst pair
+/// is the first, in sorted (a, b) order, attaining the maximum error —
+/// deterministic, so it replays byte-identically.
+struct PredictorScore {
+  /// Mean per-pair relative error over the union support (0 when both
+  /// matrices are empty).
+  double mape = 0;
+  /// Union-support size.
+  std::size_t pairs = 0;
+  double worst_error = 0;
+  /// Worst pair endpoints (kInvalidVertex when there are no pairs).
+  Vertex worst_src = kInvalidVertex;
+  Vertex worst_dst = kInvalidVertex;
+};
+PredictorScore score_prediction(const Demand& predicted,
+                                const Demand& realized);
+
 class DemandPredictor {
  public:
   virtual ~DemandPredictor() = default;
@@ -47,6 +68,10 @@ class DemandPredictor {
   /// Summary of the per-epoch relative L1 prediction errors so far.
   StatsSummary error_summary() const { return summarize(errors_); }
 
+  /// Summary of the per-epoch MAPE scores so far (score_prediction of
+  /// each pending prediction, recorded by observe() beside the L1 error).
+  StatsSummary mape_summary() const { return summarize(mapes_); }
+
  protected:
   virtual void update(const Demand& realized) = 0;
   virtual Demand predict_impl() const = 0;
@@ -54,6 +79,7 @@ class DemandPredictor {
  private:
   std::size_t observations_ = 0;
   std::vector<double> errors_;
+  std::vector<double> mapes_;
 };
 
 /// state ← (1−α)·state + α·realized, per pair over the union support.

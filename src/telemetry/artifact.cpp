@@ -735,4 +735,167 @@ void render_artifact_profile(const JsonValue& doc, std::ostream& os) {
   render_top_spans(doc, os);
 }
 
+namespace {
+
+/// Fixed-precision number for the quality table; non-finite → "-".
+std::string quality_cell(double v, int precision) {
+  if (!std::isfinite(v)) return "-";
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+double number_or(const JsonValue& obj, const char* key, double fallback) {
+  if (obj.is_object() && obj.has(key) && obj.at(key).is_number()) {
+    return obj.at(key).as_number();
+  }
+  return fallback;
+}
+
+double element_or(const JsonValue& block, const char* key, std::size_t i,
+                  double fallback) {
+  if (!block.is_object() || !block.has(key)) return fallback;
+  const JsonValue& arr = block.at(key);
+  if (!arr.is_array() || i >= arr.size() || !arr.at(i).is_number()) {
+    return fallback;
+  }
+  return arr.at(i).as_number();
+}
+
+}  // namespace
+
+void render_artifact_quality(const JsonValue& doc, std::ostream& os) {
+  SOR_CHECK_MSG(doc.is_object() && doc.has("experiment"),
+                "document is not a BENCH artifact (no \"experiment\" key)");
+  os << "experiment: " << doc.at("experiment").as_string();
+  if (doc.has("title")) os << "  —  " << doc.at("title").as_string();
+  os << "\n";
+  if (!doc.has("quality") || !doc.at("quality").is_object()) {
+    os << "no quality block (schema < v7 or observatory disabled)\n";
+    return;
+  }
+  const JsonValue& q = doc.at("quality");
+  const std::size_t epochs = static_cast<std::size_t>(number_or(q, "epochs", 0));
+  os << "observatory: " << epochs << " epochs, shadow every "
+     << static_cast<long long>(number_or(q, "shadow_every", 0))
+     << " (eps " << number_or(q, "shadow_epsilon", 0) << "), "
+     << static_cast<long long>(number_or(q, "shadow_solves", 0))
+     << " shadow solves\n";
+
+  // Map sampled epoch -> index into the regret arrays.
+  std::map<std::size_t, std::size_t> sample_at;
+  const JsonValue* regret =
+      q.has("regret") && q.at("regret").is_object() ? &q.at("regret") : nullptr;
+  if (regret != nullptr && regret->has("epochs") &&
+      regret->at("epochs").is_array()) {
+    const JsonValue& sampled = regret->at("epochs");
+    for (std::size_t i = 0; i < sampled.size(); ++i) {
+      if (sampled.at(i).is_number()) {
+        sample_at[static_cast<std::size_t>(sampled.at(i).as_number())] = i;
+      }
+    }
+  }
+  if (sample_at.empty()) {
+    os << "regret: no shadow samples\n";
+  } else {
+    os << "regret: " << sample_at.size() << " samples  p50 "
+       << quality_cell(number_or(*regret, "p50",
+                                 std::numeric_limits<double>::quiet_NaN()),
+                       4)
+       << "  p95 "
+       << quality_cell(number_or(*regret, "p95",
+                                 std::numeric_limits<double>::quiet_NaN()),
+                       4)
+       << "  max "
+       << quality_cell(number_or(*regret, "max",
+                                 std::numeric_limits<double>::quiet_NaN()),
+                       4)
+       << "  (" << static_cast<long long>(number_or(*regret, "truncated", 0))
+       << " truncated)\n";
+  }
+
+  const JsonValue* predictor =
+      q.has("predictor") && q.at("predictor").is_object() ? &q.at("predictor")
+                                                          : nullptr;
+  if (predictor != nullptr) {
+    const long long scored =
+        static_cast<long long>(number_or(*predictor, "scored_epochs", 0));
+    if (scored == 0) {
+      os << "predictor: no scored epochs\n";
+    } else {
+      os << "predictor: " << scored << "/" << epochs
+         << " epochs scored  mape mean "
+         << quality_cell(number_or(*predictor, "mape_mean", 0), 4) << "  max "
+         << quality_cell(number_or(*predictor, "mape_max", 0), 4) << "\n";
+    }
+  }
+  const JsonValue* churn =
+      q.has("churn") && q.at("churn").is_object() ? &q.at("churn") : nullptr;
+  if (churn != nullptr) {
+    os << "churn: total top-path flips "
+       << static_cast<long long>(number_or(*churn, "total_top_path_flips", 0))
+       << "\n";
+  }
+  if (epochs == 0) return;
+
+  os << "\n"
+     << std::left << std::setw(7) << "epoch" << std::right << std::setw(9)
+     << "regret" << std::setw(11) << "achieved" << std::setw(11) << "opt"
+     << std::setw(9) << "mape" << std::setw(13) << "worst_pair" << std::setw(9)
+     << "hamming" << std::setw(10) << "w_l1" << std::setw(7) << "flips"
+     << "\n";
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    std::string regret_cell = "-";
+    std::string achieved_cell = "-";
+    std::string opt_cell = "-";
+    if (const auto it = sample_at.find(epoch); it != sample_at.end()) {
+      regret_cell =
+          quality_cell(element_or(*regret, "ratio", it->second, kNan), 4);
+      achieved_cell =
+          quality_cell(element_or(*regret, "achieved", it->second, kNan), 4);
+      opt_cell =
+          quality_cell(element_or(*regret, "shadow_opt", it->second, kNan), 4);
+    }
+    std::string mape_cell = "-";
+    std::string pair_cell = "-";
+    if (predictor != nullptr) {
+      const double mape = element_or(*predictor, "mape", epoch, -1);
+      if (mape >= 0) {
+        mape_cell = quality_cell(mape, 4);
+        if (predictor->has("worst_pair") &&
+            predictor->at("worst_pair").is_array() &&
+            epoch < predictor->at("worst_pair").size()) {
+          const JsonValue& pair = predictor->at("worst_pair").at(epoch);
+          if (pair.is_array() && pair.size() == 2 && pair.at(0).is_number() &&
+              pair.at(1).is_number()) {
+            std::ostringstream ps;
+            ps << static_cast<long long>(pair.at(0).as_number()) << "->"
+               << static_cast<long long>(pair.at(1).as_number());
+            pair_cell = ps.str();
+          }
+        }
+      }
+    }
+    std::string hamming_cell = "-";
+    std::string drift_cell = "-";
+    std::string flips_cell = "-";
+    if (churn != nullptr) {
+      const double hamming = element_or(*churn, "mask_hamming", epoch, kNan);
+      const double drift = element_or(*churn, "weight_l1", epoch, kNan);
+      const double flips = element_or(*churn, "top_path_flips", epoch, kNan);
+      if (std::isfinite(hamming)) {
+        hamming_cell = quality_cell(hamming, 0);
+      }
+      if (std::isfinite(drift)) drift_cell = quality_cell(drift, 3);
+      if (std::isfinite(flips)) flips_cell = quality_cell(flips, 0);
+    }
+    os << std::left << std::setw(7) << epoch << std::right << std::setw(9)
+       << regret_cell << std::setw(11) << achieved_cell << std::setw(11)
+       << opt_cell << std::setw(9) << mape_cell << std::setw(13) << pair_cell
+       << std::setw(9) << hamming_cell << std::setw(10) << drift_cell
+       << std::setw(7) << flips_cell << "\n";
+  }
+}
+
 }  // namespace sor::telemetry

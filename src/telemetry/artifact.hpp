@@ -98,4 +98,13 @@ void render_artifact_diff(const ArtifactDiffResult& result, std::ostream& os);
 /// are not artifact-shaped at all.
 void render_artifact_profile(const JsonValue& doc, std::ostream& os);
 
+/// Renders the routing-quality view of one artifact (`sor_cli quality`):
+/// the schema-v7 "quality" block — shadow-regret summary and samples,
+/// predictor accuracy (MAPE + worst pair), and path-churn series — as a
+/// per-epoch table. Epochs without a shadow sample and bootstrap epochs
+/// without a predictor score render "-" (never "nan"). Tolerates
+/// artifacts without a quality block (prints a one-line notice); throws
+/// CheckError on documents that are not artifact-shaped at all.
+void render_artifact_quality(const JsonValue& doc, std::ostream& os);
+
 }  // namespace sor::telemetry

@@ -130,6 +130,22 @@ LedgerRecord summarize_artifact(const JsonValue& artifact,
     record.metrics[kCacheHitRate] =
         hits + misses > 0 ? hits / (hits + misses) : -1.0;
   }
+  // Routing-quality figures (schema v7 quality block): the sampled-regret
+  // p95 and the mean predictor MAPE. Both higher-is-worse, so they enter
+  // the trend gate's default set like the latency quantiles do. Skipped
+  // (not zeroed) when the observatory was off or produced no samples —
+  // a 0 would read as "perfect routing" and poison the trend baseline.
+  if (const JsonValue* regret = find_path(artifact, {"quality", "regret"})) {
+    if (regret->has("epochs") && regret->at("epochs").size() > 0) {
+      record.metrics["regret_p95"] = number_at(regret, "p95", 0);
+    }
+  }
+  if (const JsonValue* predictor =
+          find_path(artifact, {"quality", "predictor"})) {
+    if (number_at(predictor, "scored_epochs", 0) > 0) {
+      record.metrics["predictor_mape"] = number_at(predictor, "mape_mean", 0);
+    }
+  }
   // Per-subsystem cost totals from the cost/<subsystem>/ns counters.
   if (const JsonValue* counters =
           find_path(artifact, {"telemetry", "counters"})) {

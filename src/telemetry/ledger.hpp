@@ -63,7 +63,9 @@ std::string artifact_config_digest(const JsonValue& artifact);
 ///   congestion_max, solve_p50_ms/p95/p99 (from the
 ///   engine/solve_seconds sketch), cache_hit_rate (-1 = no traffic),
 ///   cost_<subsystem>_seconds per cost scope plus cost_total_seconds,
-///   peak_rss_bytes (schema v6 "memory" block), wall_seconds.
+///   peak_rss_bytes (schema v6 "memory" block), wall_seconds,
+///   regret_p95 + predictor_mape (schema v7 "quality" block; omitted
+///   when the observatory recorded no samples).
 /// Metrics whose source block is absent are simply omitted. Throws
 /// CheckError when `artifact` is not artifact-shaped (no "experiment").
 LedgerRecord summarize_artifact(const JsonValue& artifact,

@@ -19,6 +19,10 @@ SloConfig parse_slo_config(const std::string& text) {
       config.solve_p99_ms = value.as_number();
     } else if (key == "min_cache_hit_rate") {
       config.min_cache_hit_rate = value.as_number();
+    } else if (key == "max_regret") {
+      config.max_regret = value.as_number();
+    } else if (key == "max_predictor_mape") {
+      config.max_predictor_mape = value.as_number();
     } else {
       SOR_CHECK_MSG(false, "unknown SLO config key '" << key << "'");
     }
@@ -52,7 +56,9 @@ void record_side_effects(const SloBreach& breach) {
 std::vector<SloBreach> SloTracker::check_epoch(std::uint64_t epoch,
                                                double congestion,
                                                double solve_p99_ms,
-                                               double cache_hit_rate) {
+                                               double cache_hit_rate,
+                                               double regret,
+                                               double predictor_mape) {
   std::vector<SloBreach> breaches;
   if (congestion > config_.max_congestion) {
     breaches.push_back(
@@ -66,6 +72,13 @@ std::vector<SloBreach> SloTracker::check_epoch(std::uint64_t epoch,
       cache_hit_rate < config_.min_cache_hit_rate) {
     breaches.push_back(
         {"cache_hit_rate", epoch, cache_hit_rate, config_.min_cache_hit_rate});
+  }
+  if (regret >= 0 && regret > config_.max_regret) {
+    breaches.push_back({"max_regret", epoch, regret, config_.max_regret});
+  }
+  if (predictor_mape >= 0 && predictor_mape > config_.max_predictor_mape) {
+    breaches.push_back({"max_predictor_mape", epoch, predictor_mape,
+                        config_.max_predictor_mape});
   }
   total_breaches_ += breaches.size();
   for (const SloBreach& breach : breaches) record_side_effects(breach);
@@ -112,6 +125,32 @@ ArtifactSloReport evaluate_artifact_slo(const JsonValue& artifact,
         if (watermark > config.max_congestion) {
           report.evaluated.push_back(
               {"max_congestion", 0, watermark, config.max_congestion});
+        }
+      }
+    }
+  }
+  if (artifact.has("quality")) {
+    // Re-check the quality block: worst sampled regret and worst scored
+    // MAPE against the config's quality bounds.
+    const JsonValue& quality = artifact.at("quality");
+    if (quality.has("regret")) {
+      const JsonValue& regret = quality.at("regret");
+      if (regret.has("max") && regret.at("epochs").size() > 0) {
+        const double worst = regret.at("max").as_number();
+        if (worst > config.max_regret) {
+          report.evaluated.push_back(
+              {"max_regret", 0, worst, config.max_regret});
+        }
+      }
+    }
+    if (quality.has("predictor")) {
+      const JsonValue& predictor = quality.at("predictor");
+      if (predictor.has("mape_max") &&
+          predictor.at("scored_epochs").as_number() > 0) {
+        const double worst = predictor.at("mape_max").as_number();
+        if (worst > config.max_predictor_mape) {
+          report.evaluated.push_back(
+              {"max_predictor_mape", 0, worst, config.max_predictor_mape});
         }
       }
     }

@@ -41,17 +41,27 @@ struct SloConfig {
   /// Floor on the artifact-cache hit rate; epochs with no cache traffic
   /// are skipped. 0 disables.
   double min_cache_hit_rate = 0;
+  /// Max acceptable regret ratio (achieved / shadow-optimal congestion)
+  /// on shadow-sampled epochs; unsampled epochs are skipped. Only
+  /// meaningful when the quality observatory's shadow solve is on.
+  double max_regret = std::numeric_limits<double>::infinity();
+  /// Max acceptable predictor MAPE per scored epoch (the bootstrap epoch,
+  /// which has no pending prediction, is skipped).
+  double max_predictor_mape = std::numeric_limits<double>::infinity();
 
   bool any_set() const {
     return max_congestion != std::numeric_limits<double>::infinity() ||
            solve_p99_ms != std::numeric_limits<double>::infinity() ||
-           min_cache_hit_rate > 0;
+           min_cache_hit_rate > 0 ||
+           max_regret != std::numeric_limits<double>::infinity() ||
+           max_predictor_mape != std::numeric_limits<double>::infinity();
   }
 };
 
 /// Parses a config from its JSON text: an object with any subset of the
-/// keys "max_congestion", "solve_p99_ms", "min_cache_hit_rate". Unknown
-/// keys are an error (they would silently disable the intended bound).
+/// keys "max_congestion", "solve_p99_ms", "min_cache_hit_rate",
+/// "max_regret", "max_predictor_mape". Unknown keys are an error (they
+/// would silently disable the intended bound).
 SloConfig parse_slo_config(const std::string& text);
 
 /// Reads and parses a config file (throws CheckError when unreadable).
@@ -65,13 +75,18 @@ class SloTracker {
   const SloConfig& config() const { return config_; }
   bool active() const { return config_.any_set(); }
 
-  /// Evaluates the config against one epoch's health figures and records
-  /// every violation (HealthRegistry + flight recorder + slo/breaches
-  /// counter). `cache_hit_rate < 0` means "no cache traffic" and skips
-  /// the floor check. Returns this epoch's breaches.
+  /// Evaluates the config against one epoch's health and quality figures
+  /// and records every violation (HealthRegistry + flight recorder +
+  /// slo/breaches counter). Negative values mean "no figure this epoch"
+  /// and skip the matching check: `cache_hit_rate < 0` = no cache
+  /// traffic, `regret < 0` = not a shadow-sampled epoch,
+  /// `predictor_mape < 0` = bootstrap epoch. Returns this epoch's
+  /// breaches.
   std::vector<SloBreach> check_epoch(std::uint64_t epoch, double congestion,
                                      double solve_p99_ms,
-                                     double cache_hit_rate);
+                                     double cache_hit_rate,
+                                     double regret = -1,
+                                     double predictor_mape = -1);
 
   std::size_t total_breaches() const { return total_breaches_; }
   /// 0 while every checked epoch held the SLOs, 1 after any breach.

@@ -1,6 +1,7 @@
 #include "util/table.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -22,6 +23,9 @@ void Table::add_row(std::vector<std::string> cells) {
 }
 
 std::string Table::fmt(double value, int precision) {
+  // Non-finite figures (empty sketches, zero-epoch runs, 0/0 rates)
+  // render as "-": a table cell reading "nan" is a bug report, not data.
+  if (!std::isfinite(value)) return "-";
   std::ostringstream os;
   os << std::fixed << std::setprecision(precision) << value;
   return os.str();

@@ -21,6 +21,7 @@ class Table {
   void add_row(std::vector<std::string> cells);
 
   /// Convenience: formats arithmetic cells with fixed precision.
+  /// Non-finite values render as "-" (never "nan"/"inf").
   static std::string fmt(double value, int precision = 3);
   static std::string fmt_int(long long value);
 

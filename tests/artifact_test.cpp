@@ -335,5 +335,77 @@ TEST(ArtifactRender, ReportRejectsNonArtifacts) {
       CheckError);
 }
 
+JsonValue make_quality_artifact() {
+  return JsonValue::parse(R"({
+    "experiment": "E16",
+    "title": "E16: control loop",
+    "quality": {
+      "shadow_every": 2, "shadow_epsilon": 0.05,
+      "epochs": 3, "shadow_solves": 2,
+      "regret": {"epochs": [0, 2], "achieved": [1.5, 1.65],
+                 "shadow_opt": [1.5, 1.5], "lower_bound": [1.43, 1.43],
+                 "ratio": [1.0, 1.1], "truncated": 0,
+                 "p50": 1.0, "p95": 1.1, "max": 1.1},
+      "predictor": {"mape": [-1, 0.25, 0.125],
+                    "worst_pair_error": [0, 0.5, 0.25],
+                    "worst_pair": [null, [0, 4], [2, 3]],
+                    "scored_epochs": 2, "mape_mean": 0.1875,
+                    "mape_max": 0.25},
+      "churn": {"mask_hamming": [0, 2, 0], "weight_l1": [0, 0.8, 0.1],
+                "top_path_flips": [0, 1, 0], "total_top_path_flips": 1}
+    }
+  })");
+}
+
+TEST(ArtifactRender, QualityRendersSummaryAndPerEpochTable) {
+  std::ostringstream os;
+  telemetry::render_artifact_quality(make_quality_artifact(), os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("experiment: E16"), std::string::npos);
+  EXPECT_NE(text.find("shadow every 2"), std::string::npos);
+  EXPECT_NE(text.find("regret: 2 samples"), std::string::npos);
+  EXPECT_NE(text.find("p95 1.1000"), std::string::npos);
+  EXPECT_NE(text.find("predictor: 2/3 epochs scored"), std::string::npos);
+  EXPECT_NE(text.find("total top-path flips 1"), std::string::npos);
+  EXPECT_NE(text.find("0->4"), std::string::npos);  // worst pair, epoch 1
+  // Unsampled and bootstrap cells render "-", never "nan".
+  EXPECT_NE(text.find("-"), std::string::npos);
+  EXPECT_EQ(text.find("nan"), std::string::npos);
+}
+
+TEST(ArtifactRender, QualityToleratesMissingBlockAndEmptySeries) {
+  std::ostringstream os;
+  telemetry::render_artifact_quality(
+      JsonValue::parse(R"({"experiment": "E1"})"), os);
+  EXPECT_NE(os.str().find("no quality block"), std::string::npos);
+
+  // Zero-epoch observatory block: summary lines only, no nan anywhere.
+  std::ostringstream empty;
+  telemetry::render_artifact_quality(JsonValue::parse(R"({
+    "experiment": "E16",
+    "quality": {"shadow_every": 2, "shadow_epsilon": 0.05,
+                "epochs": 0, "shadow_solves": 0,
+                "regret": {"epochs": [], "achieved": [], "shadow_opt": [],
+                           "lower_bound": [], "ratio": [], "truncated": 0,
+                           "p50": 0, "p95": 0, "max": 0},
+                "predictor": {"mape": [], "worst_pair_error": [],
+                              "worst_pair": [], "scored_epochs": 0,
+                              "mape_mean": 0, "mape_max": 0},
+                "churn": {"mask_hamming": [], "weight_l1": [],
+                          "top_path_flips": [], "total_top_path_flips": 0}}
+  })"),
+                                     empty);
+  EXPECT_NE(empty.str().find("no shadow samples"), std::string::npos);
+  EXPECT_NE(empty.str().find("no scored epochs"), std::string::npos);
+  EXPECT_EQ(empty.str().find("nan"), std::string::npos);
+}
+
+TEST(ArtifactRender, QualityRejectsNonArtifacts) {
+  std::ostringstream os;
+  EXPECT_THROW(
+      telemetry::render_artifact_quality(JsonValue::object(), os),
+      CheckError);
+}
+
 }  // namespace
 }  // namespace sor

@@ -253,6 +253,54 @@ TEST(PathActivation, ExtrasJoinTheCandidateList) {
   EXPECT_TRUE(activation.active_oriented(0, 2).empty());
 }
 
+TEST(PathActivation, FlagSnapshotIsSortedAndStable) {
+  PathSystem ps;
+  ps.add(Path{2, 3, {4}});
+  ps.add(Path{0, 1, {0}});
+  ps.add(Path{0, 1, {1, 2}});
+  PathActivation activation(ps);
+
+  const std::vector<ActivationFlag> snap = activation.flag_snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  // Sorted by (pair_key, extra, index): pair (0,1) first with both base
+  // candidates, then pair (2,3).
+  EXPECT_EQ(snap[0].pair_key, (std::uint64_t{0} << 32) | 1u);
+  EXPECT_EQ(snap[0].index, 0u);
+  EXPECT_EQ(snap[1].pair_key, (std::uint64_t{0} << 32) | 1u);
+  EXPECT_EQ(snap[1].index, 1u);
+  EXPECT_EQ(snap[2].pair_key, (std::uint64_t{2} << 32) | 3u);
+  for (const ActivationFlag& f : snap) {
+    EXPECT_FALSE(f.extra);
+    EXPECT_TRUE(f.active);
+  }
+  // Snapshots of an unchanged mask are identical.
+  EXPECT_EQ(activation.flag_snapshot(), snap);
+}
+
+TEST(PathActivation, HammingCountsFlipsAndOneSidedKeys) {
+  PathSystem ps;
+  ps.add(Path{0, 1, {0}});
+  ps.add(Path{0, 1, {1, 2}});
+  PathActivation activation(ps);
+  const std::vector<ActivationFlag> before = activation.flag_snapshot();
+  EXPECT_EQ(activation_hamming(before, before), 0u);
+
+  activation.set_active(0, 1, 1, false);
+  const std::vector<ActivationFlag> flipped = activation.flag_snapshot();
+  EXPECT_EQ(activation_hamming(before, flipped), 1u);
+
+  // A newly installed extra is a key present only in the new snapshot —
+  // it counts as churn even though no shared flag changed.
+  activation.add_extra(Path{0, 1, {3}});
+  const std::vector<ActivationFlag> extended = activation.flag_snapshot();
+  ASSERT_EQ(extended.size(), 3u);
+  EXPECT_TRUE(extended.back().extra);
+  EXPECT_EQ(activation_hamming(flipped, extended), 1u);
+  EXPECT_EQ(activation_hamming(before, extended), 2u);
+  // Symmetric: removal reads the same as installation.
+  EXPECT_EQ(activation_hamming(extended, before), 2u);
+}
+
 TEST(Router, EmptyDemandIsZero) {
   const Graph g = make_grid(2, 2);
   PathSystem ps;

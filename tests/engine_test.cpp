@@ -314,6 +314,84 @@ TEST(Controller, QuietTraceWarmAcceptsAndMatchesColdQuality) {
   }
 }
 
+TEST(Quality, ShadowSamplingFollowsContractAndRegretIsSane) {
+  EngineRunConfig config = small_config();
+  config.engine.quality.shadow_every = 2;
+  const EngineRunOutput out = run_from_config(config);
+  ASSERT_EQ(out.result.epochs.size(), 8u);
+
+  std::size_t sampled = 0;
+  for (const EpochReport& r : out.result.epochs) {
+    // Sampling is a pure function of the epoch index: every even epoch,
+    // including epoch 0.
+    EXPECT_EQ(r.quality.shadow_sampled, r.epoch % 2 == 0)
+        << "epoch " << r.epoch;
+    if (!r.quality.shadow_sampled) continue;
+    ++sampled;
+    EXPECT_GT(r.quality.shadow_opt, 0.0);
+    EXPECT_GE(r.quality.shadow_opt,
+              r.quality.shadow_lower_bound * (1.0 - 1e-9));
+    // Achieved >= OPT and shadow_opt <= (1+eps) OPT, so the ratio can
+    // undershoot 1 by at most the shadow solver's slack.
+    EXPECT_GE(r.quality.regret,
+              1.0 / (1.0 + config.engine.quality.shadow_epsilon) - 1e-6)
+        << "epoch " << r.epoch;
+  }
+  EXPECT_EQ(sampled, 4u);
+  EXPECT_EQ(out.result.shadow_solves, 4u);
+  EXPECT_EQ(out.result.regret_summary.count, 4u);
+  EXPECT_GT(out.result.regret_summary.max, 0.0);
+
+  // Bootstrap epoch has no pending prediction; every later epoch scores.
+  EXPECT_LT(out.result.epochs.front().quality.predictor_mape, 0.0);
+  for (std::size_t t = 1; t < out.result.epochs.size(); ++t) {
+    EXPECT_GE(out.result.epochs[t].quality.predictor_mape, 0.0);
+  }
+  EXPECT_EQ(out.result.predictor_mape_summary.count, 7u);
+  // First epoch installs fresh state — churn is defined as zero.
+  EXPECT_EQ(out.result.epochs.front().quality.mask_churn, 0u);
+  EXPECT_DOUBLE_EQ(out.result.epochs.front().quality.weight_l1_drift, 0.0);
+}
+
+TEST(Quality, BlockReplaysByteIdenticallyAndStaysOutOfDigest) {
+  EngineRunConfig config = small_config();
+  config.engine.quality.shadow_every = 2;
+  const EngineRunOutput out = run_from_config(config);
+  const telemetry::JsonValue block =
+      quality_to_json(out.result, config.engine.quality);
+
+  // Round-trip the record through its text format, re-apply the quality
+  // options (they are NOT serialized — replay re-passes them, like the
+  // CLI's --shadow-every), and replay: the block must match byte for byte.
+  std::stringstream io;
+  save_record(out.record, io);
+  EngineRunRecord loaded = load_record(io);
+  loaded.config.engine.quality = config.engine.quality;
+  const ControlLoopResult replayed = replay_record(loaded);
+  EXPECT_EQ(quality_to_json(replayed, config.engine.quality).dump(2),
+            block.dump(2));
+
+  // The replay digest v1 excludes quality fields entirely: a run with
+  // the observatory off digests identically.
+  EngineRunConfig off = small_config();
+  off.engine.quality.shadow_every = 0;
+  const EngineRunOutput baseline = run_from_config(off);
+  EXPECT_EQ(digest_json(out.record, out.result).dump(2),
+            digest_json(baseline.record, baseline.result).dump(2));
+}
+
+TEST(Quality, DisabledShadowStillScoresPredictorAndChurn) {
+  const EngineRunOutput out = run_from_config(small_config());
+  EXPECT_EQ(out.result.shadow_solves, 0u);
+  EXPECT_EQ(out.result.regret_summary.count, 0u);
+  for (const EpochReport& r : out.result.epochs) {
+    EXPECT_FALSE(r.quality.shadow_sampled);
+  }
+  // Predictor scoring and churn tracking are always on.
+  EXPECT_EQ(out.result.predictor_mape_summary.count,
+            out.result.epochs.size() - 1);
+}
+
 TEST(Controller, ExactBackendRunsTheLoop) {
   EngineRunConfig config = small_config();
   config.trace.num_epochs = 4;

@@ -285,6 +285,69 @@ TEST(Slo, ParseAcceptsKnownKeysAndRejectsUnknown) {
                CheckError);
 }
 
+TEST(Slo, ParseAcceptsQualityKeys) {
+  const telemetry::SloConfig config = telemetry::parse_slo_config(
+      R"({"max_regret": 1.2, "max_predictor_mape": 0.3})");
+  EXPECT_DOUBLE_EQ(config.max_regret, 1.2);
+  EXPECT_DOUBLE_EQ(config.max_predictor_mape, 0.3);
+  EXPECT_TRUE(config.any_set());
+}
+
+TEST(Slo, QualityBreachesUseSentinelSkips) {
+  reset_health();
+  const ScopedEnable enable;
+  telemetry::SloConfig config;
+  config.max_regret = 1.2;
+  config.max_predictor_mape = 0.25;
+  telemetry::SloTracker tracker(config);
+  ASSERT_TRUE(tracker.active());
+
+  // Negative sentinels mean "not measured this epoch" (no shadow sample /
+  // bootstrap) and must not breach.
+  EXPECT_TRUE(tracker.check_epoch(0, 0.5, 1.0, -1.0, -1.0, -1.0).empty());
+  // In-budget figures hold.
+  EXPECT_TRUE(tracker.check_epoch(1, 0.5, 1.0, -1.0, 1.1, 0.2).empty());
+  // Both quality budgets blown.
+  const auto breaches = tracker.check_epoch(2, 0.5, 1.0, -1.0, 1.5, 0.4);
+  ASSERT_EQ(breaches.size(), 2u);
+  EXPECT_EQ(breaches[0].slo, "max_regret");
+  EXPECT_DOUBLE_EQ(breaches[0].value, 1.5);
+  EXPECT_EQ(breaches[1].slo, "max_predictor_mape");
+  reset_health();
+}
+
+TEST(Slo, EvaluateArtifactChecksQualityBlock) {
+  using telemetry::JsonValue;
+  const JsonValue artifact = JsonValue::parse(R"({
+    "experiment": "E16",
+    "health": {"breaches": [], "sketches": {}, "status": 0},
+    "quality": {
+      "regret": {"epochs": [0, 2], "max": 1.4, "p95": 1.3},
+      "predictor": {"scored_epochs": 3, "mape_max": 0.5, "mape_mean": 0.2}
+    }
+  })");
+  telemetry::SloConfig config;
+  config.max_regret = 1.2;
+  config.max_predictor_mape = 0.4;
+  const telemetry::ArtifactSloReport report =
+      telemetry::evaluate_artifact_slo(artifact, config);
+  ASSERT_EQ(report.evaluated.size(), 2u);
+  EXPECT_EQ(report.evaluated[0].slo, "max_regret");
+  EXPECT_DOUBLE_EQ(report.evaluated[0].value, 1.4);
+  EXPECT_EQ(report.status, 1);
+
+  // No samples recorded: the quality budgets are vacuously met.
+  const JsonValue empty_quality = JsonValue::parse(R"({
+    "experiment": "E16",
+    "health": {"breaches": [], "sketches": {}, "status": 0},
+    "quality": {
+      "regret": {"epochs": [], "max": 0, "p95": 0},
+      "predictor": {"scored_epochs": 0, "mape_max": 0, "mape_mean": 0}
+    }
+  })");
+  EXPECT_EQ(telemetry::evaluate_artifact_slo(empty_quality, config).status, 0);
+}
+
 TEST(Slo, TrackerRecordsBreachesToRegistryAndFlightRecorder) {
   reset_health();
   const ScopedEnable enable;

@@ -106,6 +106,54 @@ TEST(Ledger, SummarizeExtractsStableMetrics) {
   EXPECT_DOUBLE_EQ(record.metrics.at("wall_seconds"), 12.0);
 }
 
+TEST(Ledger, SummarizeExtractsQualityMetricsWhenSampled) {
+  JsonValue doc = make_artifact(1.5, 12.0);
+  JsonValue regret = JsonValue::object();
+  JsonValue epochs = JsonValue::array();
+  epochs.push(static_cast<std::uint64_t>(0));
+  epochs.push(static_cast<std::uint64_t>(2));
+  regret.set("epochs", std::move(epochs));
+  regret.set("p95", 1.08);
+  JsonValue predictor = JsonValue::object();
+  predictor.set("scored_epochs", static_cast<std::uint64_t>(3));
+  predictor.set("mape_mean", 0.12);
+  JsonValue quality = JsonValue::object();
+  quality.set("regret", std::move(regret));
+  quality.set("predictor", std::move(predictor));
+  doc.set("quality", std::move(quality));
+
+  const LedgerRecord record =
+      telemetry::summarize_artifact(doc, fixed_provenance());
+  EXPECT_DOUBLE_EQ(record.metrics.at("regret_p95"), 1.08);
+  EXPECT_DOUBLE_EQ(record.metrics.at("predictor_mape"), 0.12);
+}
+
+TEST(Ledger, SummarizeSkipsQualityMetricsWithoutSamples) {
+  // Observatory off (no quality block) or on with zero samples: the
+  // metrics must be ABSENT, not zero — a zero would poison the trend
+  // baseline for later runs that do sample.
+  const JsonValue plain = make_artifact(1.5, 12.0);
+  EXPECT_EQ(telemetry::summarize_artifact(plain, fixed_provenance())
+                .metrics.count("regret_p95"),
+            0u);
+
+  JsonValue doc = make_artifact(1.5, 12.0);
+  JsonValue regret = JsonValue::object();
+  regret.set("epochs", JsonValue::array());
+  regret.set("p95", 0.0);
+  JsonValue predictor = JsonValue::object();
+  predictor.set("scored_epochs", static_cast<std::uint64_t>(0));
+  predictor.set("mape_mean", 0.0);
+  JsonValue quality = JsonValue::object();
+  quality.set("regret", std::move(regret));
+  quality.set("predictor", std::move(predictor));
+  doc.set("quality", std::move(quality));
+  const LedgerRecord record =
+      telemetry::summarize_artifact(doc, fixed_provenance());
+  EXPECT_EQ(record.metrics.count("regret_p95"), 0u);
+  EXPECT_EQ(record.metrics.count("predictor_mape"), 0u);
+}
+
 TEST(Ledger, ConfigDigestIgnoresResultsButNotConfig) {
   const JsonValue a = make_artifact(1.5, 12.0);
   const JsonValue b = make_artifact(9.9, 1.0);  // different RESULTS

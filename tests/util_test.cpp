@@ -254,6 +254,17 @@ TEST(Table, FormatsRowsAndCsv) {
   EXPECT_NE(csv.str().find("bb,42"), std::string::npos);
 }
 
+TEST(Table, FmtRendersNonFiniteAsDash) {
+  // Empty sketches and zero-epoch runs surface NaN/inf into column
+  // formatting; the tables must show "-" rather than "nan"/"inf".
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(Table::fmt(nan, 3), "-");
+  EXPECT_EQ(Table::fmt(inf, 3), "-");
+  EXPECT_EQ(Table::fmt(-inf, 3), "-");
+  EXPECT_EQ(Table::fmt(0.0, 2), "0.00");
+}
+
 TEST(Table, RejectsWrongArity) {
   Table t({"a", "b"});
   EXPECT_THROW(t.add_row({"only one"}), CheckError);
