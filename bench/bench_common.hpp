@@ -64,7 +64,11 @@ namespace sor::bench {
 // MAPE + worst pair, activation/weight/top-path churn series — see
 // src/engine/quality.hpp). Feeds `sor_cli quality` and the trend gate's
 // regret_p95/predictor_mape metrics.
-inline constexpr int kArtifactSchemaVersion = 7;
+// v8: added the "serving" block (snapshot-swapped serving layer, see
+// src/serve/: sustained lookups/sec and lookup-latency quantiles under
+// concurrent epoch churn, torn-answer and byte-identity audit results,
+// snapshot publish + demand-ingestion counters). E17 requires it.
+inline constexpr int kArtifactSchemaVersion = 8;
 
 namespace detail {
 // Captured at static initialization — close enough to process start for

@@ -2,7 +2,7 @@
 // EXPERIMENTS.md. Exits 0 if the document parses and every required key
 // has the right shape; prints the first violation and exits 1 otherwise.
 // Artifacts stamped with a schema_version NEWER than this checker knows
-// (> 7) exit with the dedicated code 3: "rebuild the checker", not "the
+// (> 8) exit with the dedicated code 3: "rebuild the checker", not "the
 // artifact is broken". Usage errors exit 2.
 //
 // Usage: check_bench_json <path/to/BENCH_E1.json>
@@ -39,7 +39,7 @@ using sor::telemetry::JsonValue;
 
 /// Highest schema_version this checker understands; keep in lockstep with
 /// bench_common.hpp's kArtifactSchemaVersion.
-constexpr int kMaxKnownSchemaVersion = 7;
+constexpr int kMaxKnownSchemaVersion = 8;
 /// Exit code for artifacts from a NEWER schema than this build knows.
 /// Distinct from 1 (schema violation) and 2 (usage) so fixtures and CI
 /// can tell "stale checker" apart from "broken artifact".
@@ -483,6 +483,46 @@ void check_quality(const JsonValue& doc) {
           "quality/churn/total_top_path_flips disagrees with its series");
 }
 
+/// The schema-v8 serving block (src/serve/): throughput and latency
+/// figures from the snapshot-swapped serving bench, plus the two
+/// correctness audits the serving layer guarantees — zero torn answers
+/// (every lookup matched exactly one published epoch) and byte-identity
+/// between the published snapshot and route_fractional's split.
+void check_serving(const JsonValue& doc) {
+  check_member(doc, "serving", JsonValue::Kind::kObject, "object");
+  const JsonValue& serving = doc.at("serving");
+  for (const char* key :
+       {"readers", "epochs", "snapshots_published", "lookups", "misses",
+        "torn_lookups", "lookups_per_sec", "p50_us", "p95_us", "p99_us",
+        "max_us", "updates_enqueued", "updates_applied"}) {
+    check_member(serving, key, JsonValue::Kind::kNumber, "number");
+    const double v = serving.at(key).as_number();
+    require(std::isfinite(v), std::string("serving/") + key + " is not finite");
+    require(v >= 0, std::string("serving/") + key + " is negative");
+  }
+  require(serving.at("readers").as_number() >= 1, "serving/readers < 1");
+  require(serving.at("epochs").as_number() >= 1, "serving/epochs < 1");
+  require(serving.at("lookups_per_sec").as_number() > 0,
+          "serving/lookups_per_sec is not positive (no lookups timed?)");
+  require(serving.at("misses").as_number() <=
+              serving.at("lookups").as_number(),
+          "serving/misses exceeds serving/lookups");
+  const double p50 = serving.at("p50_us").as_number();
+  const double p95 = serving.at("p95_us").as_number();
+  const double p99 = serving.at("p99_us").as_number();
+  require(p50 <= p95 && p95 <= p99,
+          "serving latency quantiles are not ordered");
+  require(p99 <= serving.at("max_us").as_number(),
+          "serving/p99_us exceeds the exact max");
+  require(serving.at("torn_lookups").as_number() == 0,
+          "serving/torn_lookups is nonzero (a reader saw a table matching "
+          "no published epoch — the snapshot-swap contract is broken)");
+  check_member(serving, "identity_ok", JsonValue::Kind::kBool, "bool");
+  require(serving.at("identity_ok").as_bool(),
+          "serving/identity_ok is false (published snapshot is not "
+          "byte-identical to route_fractional on the same matrix)");
+}
+
 void check_health_window(const JsonValue& window, const std::string& where) {
   require(window.is_array(), where + " is not an array");
   double last_epoch = -1;
@@ -709,6 +749,7 @@ int main(int argc, char** argv) {
   const bool has_health_block = doc.at("schema_version").as_number() >= 5;
   const bool has_provenance_block = doc.at("schema_version").as_number() >= 6;
   const bool has_quality_block = doc.at("schema_version").as_number() >= 7;
+  const bool has_serving_block = doc.at("schema_version").as_number() >= 8;
   require(has_cache_block || !require_cache_hits,
           "--require-cache-hits needs a schema v4+ artifact");
   check_member(doc, "experiment", JsonValue::Kind::kString, "string");
@@ -764,6 +805,9 @@ int main(int argc, char** argv) {
   // The quality block is per-bench opt-in (only control-loop benches have
   // an epoch structure to observe), so validate it wherever it appears.
   if (has_quality_block && doc.has("quality")) check_quality(doc);
+  // Likewise the serving block: only the serving bench carries it, but it
+  // must validate wherever present (and E17 requires it below).
+  if (has_serving_block && doc.has("serving")) check_serving(doc);
   if (require_cache_hits) {
     const JsonValue& cache = doc.at("cache");
     require(cache.at("enabled").as_bool(),
@@ -823,6 +867,15 @@ int main(int argc, char** argv) {
       require(quality.at("predictor").at("scored_epochs").as_number() > 0,
               "E16 quality block scored no predictions");
     }
+  }
+
+  if (doc.at("experiment").as_string() == "E17") {
+    require(has_serving_block,
+            "E17 artifact predates schema v8 (no serving block possible)");
+    require(doc.has("serving"), "E17 artifact is missing the serving block");
+    require(doc.at("events").at("events").size() > 0,
+            "E17 artifact has no recorder events (publish instrumentation "
+            "or SOR_TELEMETRY off)");
   }
 
   std::printf("%s: ok (%zu spans, %zu counters, %zu recorder events)\n",

@@ -1,25 +1,38 @@
-# Runs `${CHECKER} ${ARTIFACT}` and asserts the EXACT exit code — ctest's
-# WILL_FAIL can only assert "nonzero", but the schema checker's contract
-# distinguishes exit 1 (schema violation) from exit 3 (artifact written by
-# a newer bench build: unknown future schema_version).
+# Runs a command and asserts the EXACT exit code — ctest's WILL_FAIL can
+# only assert "nonzero", but several of our contracts distinguish codes:
+# the schema checker's exit 1 (schema violation) vs exit 3 (artifact
+# written by a newer bench build), and the CLI's exit 2 (usage error,
+# e.g. a malformed numeric flag).
 #
 # Usage:
 #   cmake -DCHECKER=<path> -DARTIFACT=<path> -DEXPECTED=<code> \
 #         -P expect_exit_code.cmake
+#   cmake -DCHECKER=<path> "-DARGS=arg1;arg2;..." -DEXPECTED=<code> \
+#         -P expect_exit_code.cmake
+#
+# ARTIFACT is the original single-argument form; ARGS is a CMake list of
+# arbitrary arguments (escape the semicolons in add_test: "-DARGS=a\;b").
 
-if(NOT DEFINED CHECKER OR NOT DEFINED ARTIFACT OR NOT DEFINED EXPECTED)
+if(NOT DEFINED CHECKER OR NOT DEFINED EXPECTED)
   message(FATAL_ERROR
-    "expect_exit_code.cmake needs -DCHECKER, -DARTIFACT and -DEXPECTED")
+    "expect_exit_code.cmake needs -DCHECKER and -DEXPECTED")
+endif()
+if(NOT DEFINED ARGS)
+  if(NOT DEFINED ARTIFACT)
+    message(FATAL_ERROR
+      "expect_exit_code.cmake needs -DARTIFACT or -DARGS")
+  endif()
+  set(ARGS ${ARTIFACT})
 endif()
 
 execute_process(
-  COMMAND ${CHECKER} ${ARTIFACT}
+  COMMAND ${CHECKER} ${ARGS}
   RESULT_VARIABLE result
   OUTPUT_VARIABLE out
   ERROR_VARIABLE err)
 
 if(NOT result EQUAL ${EXPECTED})
   message(FATAL_ERROR
-    "expected exit ${EXPECTED} from ${CHECKER} ${ARTIFACT}, got "
+    "expected exit ${EXPECTED} from ${CHECKER} ${ARGS}, got "
     "'${result}'\nstdout:\n${out}\nstderr:\n${err}")
 endif()

@@ -5,6 +5,7 @@
 //   sor_cli engine run    [engine options]
 //   sor_cli engine replay --record FILE [--digest FILE] [--trace]
 //   sor_cli monitor       [engine-run options]
+//   sor_cli serve-bench   [engine-run options] [serve options]
 //   sor_cli slo BENCH_x.json [--slo-config FILE]
 //   sor_cli quality BENCH_x.json
 //   sor_cli report BENCH_x.json
@@ -55,6 +56,19 @@
 //   --quality-out FILE  write the run's quality block (regret, predictor
 //                     error, churn series) as JSON; byte-identical under
 //                     record/replay with the same --shadow-every
+//
+// Serving (sor_cli serve-bench):
+//   runs the engine with the snapshot-swapped serving layer attached:
+//   N reader threads answer (src, dst) lookups from the RCU-published
+//   RouteSnapshots while the control loop re-solves and publishes each
+//   epoch. Prints lookups/sec, latency quantiles, and the torn-table
+//   audit; exits 1 on any torn answer or snapshot/route_fractional
+//   byte mismatch. Takes every engine-run flag, plus:
+//   --readers N       concurrent lookup threads           (default 4)
+//   --lookups N       min lookups per reader              (default 2000)
+//   --update-every N  enqueue a demand update every N lookups (0 = off;
+//                     updates fold into the next epoch's realized matrix)
+//   --update-amount X demand delta per update             (default 1.0)
 //
 // Health tooling:
 //   sor_cli monitor [engine-run options]
@@ -116,6 +130,8 @@
 // offline optimum, and the competitive ratio; `engine run` prints the
 // per-epoch control-loop report instead.
 
+#include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <exception>
 #include <fstream>
@@ -125,6 +141,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "cache/cache.hpp"
 #include "core/attribution.hpp"
@@ -134,6 +151,7 @@
 #include "demand/generators.hpp"
 #include "demand/io.hpp"
 #include "engine/replay.hpp"
+#include "serve/loadgen.hpp"
 #include "graph/io.hpp"
 #include "oblivious/electrical.hpp"
 #include "oblivious/ksp.hpp"
@@ -200,6 +218,42 @@ std::optional<sor::telemetry::JsonValue> load_json(const std::string& path) {
   }
 }
 
+// Numeric flag parsing that fails loud instead of crashing: raw
+// std::stoull/std::stod throw on malformed input, which an uncaught main
+// turns into std::terminate (and stoull additionally wraps "-1" silently
+// to 2^64-1). Every numeric flag goes through these two instead: a bad
+// value prints WHICH flag was bad and exits 2, the CLI's usage-error
+// code.
+
+std::uint64_t parse_u64(const std::string& flag, const std::string& text) {
+  std::uint64_t v = 0;
+  std::size_t pos = 0;
+  try {
+    if (text.empty() || text[0] == '-' || text[0] == '+') throw 0;
+    v = std::stoull(text, &pos);
+    if (pos != text.size()) throw 0;
+  } catch (...) {
+    std::cerr << "error: " << flag << " wants a non-negative integer, got \""
+              << text << "\"\n";
+    std::exit(2);
+  }
+  return v;
+}
+
+double parse_f64(const std::string& flag, const std::string& text) {
+  double v = 0;
+  std::size_t pos = 0;
+  try {
+    v = std::stod(text, &pos);
+    if (pos != text.size() || !std::isfinite(v)) throw 0;
+  } catch (...) {
+    std::cerr << "error: " << flag << " wants a finite number, got \"" << text
+              << "\"\n";
+    std::exit(2);
+  }
+  return v;
+}
+
 int report_main(int argc, char** argv) {
   if (argc != 3) {
     std::cerr << "usage: sor_cli report BENCH_x.json\n";
@@ -261,11 +315,11 @@ int diff_main(int argc, char** argv) {
       return argv[++i];
     };
     if (flag == "--congestion-threshold") {
-      options.congestion_threshold = std::stod(value());
+      options.congestion_threshold = parse_f64(flag, value());
     } else if (flag == "--span-threshold") {
-      options.span_threshold = std::stod(value());
+      options.span_threshold = parse_f64(flag, value());
     } else if (flag == "--span-min-seconds") {
-      options.span_min_seconds = std::stod(value());
+      options.span_min_seconds = parse_f64(flag, value());
     } else {
       paths.push_back(flag);
     }
@@ -353,7 +407,7 @@ int ledger_main(int argc, char** argv) {
         return 2;
       }
       scales.emplace_back(spec.substr(0, eq),
-                          std::stod(spec.substr(eq + 1)));
+                          parse_f64(flag, spec.substr(eq + 1)));
     } else if (ledger_path.empty()) {
       ledger_path = flag;
     } else if (artifact_path.empty()) {
@@ -413,11 +467,11 @@ int trend_main(int argc, char** argv) {
     if (flag == "--bench") {
       bench = value();
     } else if (flag == "--window") {
-      options.window = std::stoull(value());
+      options.window = parse_u64(flag, value());
     } else if (flag == "--threshold") {
-      options.threshold = std::stod(value());
+      options.threshold = parse_f64(flag, value());
     } else if (flag == "--mad-factor") {
-      options.mad_factor = std::stod(value());
+      options.mad_factor = parse_f64(flag, value());
     } else if (ledger_path.empty()) {
       ledger_path = flag;
     } else {
@@ -449,6 +503,9 @@ int trend_main(int argc, char** argv) {
                "[--cache-dir DIR]\n"
                "       sor_cli engine run|replay [options]\n"
                "       sor_cli monitor [engine-run options]\n"
+               "       sor_cli serve-bench [engine-run options] "
+               "[--readers N] [--lookups N] [--update-every N] "
+               "[--update-amount X]\n"
                "       sor_cli slo BENCH_x.json [--slo-config FILE]\n"
                "       sor_cli quality BENCH_x.json\n"
                "       sor_cli report BENCH_x.json\n"
@@ -474,11 +531,11 @@ Args parse(int argc, char** argv) {
     } else if (flag == "--demand") {
       args.demand_path = value();
     } else if (flag == "--k") {
-      args.k = std::stoull(value());
+      args.k = parse_u64(flag, value());
     } else if (flag == "--source") {
       args.source = value();
     } else if (flag == "--seed") {
-      args.seed = std::stoull(value());
+      args.seed = parse_u64(flag, value());
     } else if (flag == "--integral") {
       args.integral = true;
     } else if (flag == "--trace") {
@@ -561,13 +618,13 @@ EngineCli parse_engine_flags(int argc, char** argv, int start) {
     } else if (flag == "--graph") {
       cli.config.topology = "file:" + value();
     } else if (flag == "--k") {
-      cli.config.k = std::stoull(value());
+      cli.config.k = parse_u64(flag, value());
     } else if (flag == "--source") {
       cli.config.source = value();
     } else if (flag == "--seed") {
-      cli.config.seed = std::stoull(value());
+      cli.config.seed = parse_u64(flag, value());
     } else if (flag == "--epochs") {
-      cli.config.trace.num_epochs = std::stoull(value());
+      cli.config.trace.num_epochs = parse_u64(flag, value());
     } else if (flag == "--predictor") {
       const std::string v = value();
       if (v == "ewma") {
@@ -587,13 +644,14 @@ EngineCli parse_engine_flags(int argc, char** argv, int start) {
         engine_usage(("unknown backend " + v).c_str());
       }
     } else if (flag == "--churn-budget") {
-      cli.config.engine.repair.churn_budget = std::stoull(value());
+      cli.config.engine.repair.churn_budget = parse_u64(flag, value());
     } else if (flag == "--cold") {
       cli.config.engine.warm_start = false;
     } else if (flag == "--solve-deadline-ms") {
-      cli.config.engine.solve_deadline_ms = std::stoull(value());
+      cli.config.engine.solve_deadline_ms =
+          static_cast<double>(parse_u64(flag, value()));
     } else if (flag == "--shadow-every") {
-      cli.config.engine.quality.shadow_every = std::stoull(value());
+      cli.config.engine.quality.shadow_every = parse_u64(flag, value());
     } else if (flag == "--quality-out") {
       cli.quality_out = value();
     } else if (flag == "--record") {
@@ -880,6 +938,100 @@ int monitor_main(int argc, char** argv) {
   return out.result.health_status;
 }
 
+/// `sor_cli serve-bench` — the TE-as-a-service smoke bench: drives the
+/// standard engine run with a RouteService attached while N reader
+/// threads answer (src, dst) lookups from the RCU-published snapshots,
+/// then prints throughput, lookup-latency quantiles, and the torn-table
+/// audit. Exits 1 if any reader ever saw an answer that matched no
+/// published epoch (the snapshot-swap contract) or if the published
+/// bootstrap snapshot is not byte-identical to route_fractional on the
+/// same matrix.
+int serve_bench_main(int argc, char** argv) {
+  sor::serve::ServeLoadOptions load;
+  // Serve flags are peeled off here; everything else is the engine-run
+  // flag set, handed to parse_engine_flags unchanged.
+  std::vector<char*> rest = {argv[0], argv[1]};
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) engine_usage(("missing value for " + flag).c_str());
+      return argv[++i];
+    };
+    if (flag == "--readers") {
+      load.readers = parse_u64(flag, value());
+    } else if (flag == "--lookups") {
+      load.min_lookups_per_reader = parse_u64(flag, value());
+    } else if (flag == "--update-every") {
+      load.update_every = parse_u64(flag, value());
+    } else if (flag == "--update-amount") {
+      load.update_amount = parse_f64(flag, value());
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  if (load.readers == 0) engine_usage("--readers must be positive");
+  EngineCli cli =
+      parse_engine_flags(static_cast<int>(rest.size()), rest.data(), 2);
+  if (cli.config.k == 0) engine_usage("--k must be positive");
+  if (cli.config.trace.num_epochs == 0) {
+    engine_usage("--epochs must be positive");
+  }
+
+  const sor::Graph g = sor::engine::build_topology(cli.config.topology);
+  const sor::PathSystem system =
+      sor::engine::build_path_system(g, cli.config);
+  const sor::engine::EventTrace trace =
+      sor::engine::generate_trace(g, cli.config.trace, cli.config.seed);
+  const sor::serve::ServeLoadReport report = sor::serve::run_serve_load(
+      g, system, trace, cli.config.stream, cli.config.engine,
+      cli.config.seed, load);
+
+  sor::Table table({"metric", "value"});
+  const auto row = [&](const std::string& name, const std::string& v) {
+    table.add_row({name, v});
+  };
+  row("readers", sor::Table::fmt_int(static_cast<long long>(report.readers)));
+  row("epochs",
+      sor::Table::fmt_int(static_cast<long long>(report.result.epochs.size())));
+  row("snapshots published",
+      sor::Table::fmt_int(static_cast<long long>(report.snapshots_published)));
+  row("lookups",
+      sor::Table::fmt_int(static_cast<long long>(report.lookups)));
+  row("misses", sor::Table::fmt_int(static_cast<long long>(report.misses)));
+  row("torn answers",
+      sor::Table::fmt_int(static_cast<long long>(report.torn)));
+  row("lookups/sec", sor::Table::fmt(report.lookups_per_sec, 0));
+  row("lookup p50 us", sor::Table::fmt(report.p50_us, 3));
+  row("lookup p95 us", sor::Table::fmt(report.p95_us, 3));
+  row("lookup p99 us", sor::Table::fmt(report.p99_us, 3));
+  row("lookup max us", sor::Table::fmt(report.max_us, 3));
+  row("updates enqueued",
+      sor::Table::fmt_int(static_cast<long long>(report.updates_enqueued)));
+  row("updates applied",
+      sor::Table::fmt_int(static_cast<long long>(report.updates_drained)));
+  table.print(std::cout);
+
+  // The byte-identity contract, checked on the same topology: a
+  // controller-published bootstrap snapshot must serialize identically
+  // to RouteSnapshot::build over route_fractional's split fractions.
+  const bool identity_ok = sor::serve::snapshot_matches_route_fractional(
+      g, system,
+      sor::engine::DemandStream(g, cli.config.stream, cli.config.seed)
+          .at_epoch(0),
+      cli.config.engine.epsilon);
+  std::cout << "snapshot vs route_fractional: "
+            << (identity_ok ? "byte-identical" : "MISMATCH") << "\n";
+  if (report.torn > 0) {
+    std::cout << "FAIL: " << report.torn
+              << " lookup(s) saw a table matching no published epoch\n";
+    return 1;
+  }
+  if (!identity_ok) return 1;
+  std::cout << "serving OK: every answer matched exactly one published "
+               "epoch\n";
+  return 0;
+}
+
 /// `sor_cli slo` — offline SLO check of a BENCH_*.json artifact: reports
 /// the breaches the run recorded, then (with --slo-config) re-evaluates
 /// the bounds against the artifact's health block. Exits nonzero on any
@@ -954,6 +1106,9 @@ int main(int argc, char** argv) {
   }
   if (argc >= 2 && std::strcmp(argv[1], "monitor") == 0) {
     return monitor_main(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "serve-bench") == 0) {
+    return serve_bench_main(argc, argv);
   }
   if (argc >= 2 && std::strcmp(argv[1], "slo") == 0) {
     return slo_main(argc, argv);

@@ -8,6 +8,14 @@
 // direction. Multiplicities are kept: a (λ·k)-sample draws with
 // replacement, and the weak-routing process weights paths per sampled
 // instance.
+//
+// Thread-safety contract (see DESIGN.md "Serving layer" for the full
+// table): PathSystem and PathActivation are NOT internally synchronized.
+// Any number of threads may call const members concurrently provided no
+// thread mutates; mutation (add / deduplicate / set_active / add_extra /
+// set_extra_active) requires exclusive access. The serving layer never
+// hands either object to reader threads — lookups go through immutable
+// RouteSnapshots (src/serve) built on the control thread.
 
 #include <cstdint>
 #include <span>
@@ -137,6 +145,17 @@ class PathActivation {
   };
   std::unordered_map<VertexPair, std::vector<Extra>, VertexPairHash> extras_;
 };
+
+/// A per-pair routing table: canonical pair → path (canonical
+/// orientation) → fraction of the pair's demand carried on that path.
+/// The common currency between the control plane and the serving layer —
+/// the engine's installed split, core::split_fractions extraction, and
+/// serve::RouteSnapshot::build all speak this type, so snapshots built
+/// from either source compare byte-identically.
+using SplitFractions =
+    std::unordered_map<VertexPair,
+                       std::unordered_map<Path, double, PathHash>,
+                       VertexPairHash>;
 
 /// Reverses a path in place representation (returns the reversed copy).
 Path reversed(const Path& p);

@@ -60,6 +60,22 @@ struct IntegralRoute {
   std::size_t improvement_steps = 0;
 };
 
+/// Snapshot extraction: the per-pair split fractions of a fractional
+/// route, keyed exactly like the engine's installed split (canonical pair
+/// → canonical-orientation path → fraction of the pair's demand; zero-
+/// weight candidates are dropped, both orientations of a pair accumulate
+/// onto the same keys). serve::RouteSnapshot::build over this table
+/// serves answers byte-identical to the route's own weights.
+SplitFractions split_fractions(const FractionalRoute& route);
+
+/// Thread-safety contract: the router holds no mutable state — every
+/// member is const and safe to call from any number of threads
+/// concurrently, PROVIDED the referenced graph, path system, and
+/// activation mask are not mutated meanwhile (they are referenced, not
+/// copied). set_activation is a mutation and requires exclusive access.
+/// The serving layer (src/serve) therefore never routes on reader
+/// threads: the control thread solves, extracts split_fractions, and
+/// publishes an immutable RouteSnapshot readers query lock-free.
 class SemiObliviousRouter {
  public:
   /// The path system is referenced, not copied; it must outlive the router.

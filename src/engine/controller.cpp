@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "lp/shadow.hpp"
+#include "serve/service.hpp"
 #include "telemetry/memory.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/observer.hpp"
@@ -35,6 +36,11 @@ RestrictedProblem EpochController::build_problem(const Demand& demand) const {
   problem.graph = graph_;
   const PathActivation& activation = repairer_.activation();
   const std::uint64_t digest = activation.digest();
+  // The memo is shared mutable cache behind a const method; hold its lock
+  // for the whole build so concurrent build_problem calls (monitor
+  // threads, shadow solves) never race the invalidate/insert sequence.
+  // Uncontended in the single-control-thread common case.
+  const std::lock_guard<std::mutex> memo_lock(memo_mu_);
   if (!memo_valid_ || digest != memo_digest_) {
     candidate_memo_.clear();
     memo_digest_ = digest;
@@ -265,6 +271,25 @@ EpochReport EpochController::step(std::span<const Event> events,
 
   install(problem, solution);
 
+  // Snapshot publish: freeze the just-installed split into an immutable
+  // RouteSnapshot and RCU-swap it into the serving front-end. Readers on
+  // other threads keep answering from the previous epoch's table until
+  // the single release store below lands; nothing here feeds back into
+  // routing, so serving-enabled runs stay byte-identical.
+  if (options_.service != nullptr) {
+    SOR_SPAN("engine/publish");
+    auto snap = std::make_shared<const serve::RouteSnapshot>(
+        serve::RouteSnapshot::build(report.epoch, installed_));
+    telemetry::Recorder::global().record(
+        "engine/publish",
+        {{"epoch", static_cast<std::uint64_t>(report.epoch)},
+         {"pairs", static_cast<std::uint64_t>(snap->num_pairs())},
+         {"paths", static_cast<std::uint64_t>(snap->num_paths())},
+         {"digest", snap->digest()}});
+    SOR_COUNTER("engine/snapshots_published").add();
+    options_.service->publish(std::move(snap));
+  }
+
   // The realized matrix rides the installed split.
   if (predictor_->observations() == 0) {
     report.congestion = solution.congestion;
@@ -397,7 +422,16 @@ ControlLoopResult run_control_loop(
         stream.apply_drift(event.drift_sigma, event.drift_stream);
       }
     }
-    const Demand realized = stream.at_epoch(t);
+    Demand realized = stream.at_epoch(t);
+    // Batched demand ingestion: updates serving frontends queued since
+    // the previous epoch fold into this epoch's realized matrix. With no
+    // enqueued updates the drain is a no-op and the run stays
+    // byte-identical to a service-free one.
+    if (options.service != nullptr) {
+      for (const serve::DemandUpdate& u : options.service->drain_updates()) {
+        realized.add(u.src, u.dst, u.amount);
+      }
+    }
     EpochReport report = controller.step(events, realized);
     result.total_solve_ms += report.solve_ms;
     result.warm_accepts += report.warm_accepted ? 1 : 0;

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -36,6 +37,10 @@
 #include "lp/path_lp.hpp"
 #include "telemetry/sketch.hpp"
 #include "telemetry/slo.hpp"
+
+namespace sor::serve {
+class RouteService;
+}  // namespace sor::serve
 
 namespace sor::engine {
 
@@ -73,6 +78,16 @@ struct EngineOptions {
   /// pass --shadow-every again, and the digest v1 excludes all quality
   /// fields so pre-observatory digests stay comparable.
   QualityOptions quality;
+  /// Serving front-end to publish to (non-owning; must outlive the run;
+  /// nullptr = no serving). When set, every epoch's install step builds
+  /// an immutable serve::RouteSnapshot of the installed split and swaps
+  /// it into the service (RCU publish), and run_control_loop drains the
+  /// service's batched demand updates into each epoch's realized matrix.
+  /// Publishing never alters routing decisions, so a run with a service
+  /// attached (and no enqueued updates) stays byte-identical to one
+  /// without — and, like the SLO config, this is NOT part of the replay
+  /// record format.
+  serve::RouteService* service = nullptr;
 };
 
 /// Per-epoch health snapshot: the run-so-far solve-latency quantiles
@@ -129,6 +144,11 @@ struct EpochReport {
   EpochQuality quality;
 };
 
+/// Thread-safety: step() runs on ONE control thread; serving readers see
+/// the controller's work only through the immutable RouteSnapshots it
+/// publishes (EngineOptions::service), never through shared mutable
+/// state. The candidate memo — the one piece of mutable state behind a
+/// const method — is mutex-guarded so concurrent const calls stay clean.
 class EpochController {
  public:
   /// `g` and `system` are referenced and must outlive the controller.
@@ -172,7 +192,11 @@ class EpochController {
   /// recovery, or fallback install changes the digest and drops the memo;
   /// quiet epochs (the common case) reuse it. Empty candidate lists are
   /// never memoized (their ad-hoc fallback depends on the surviving
-  /// graph, not just the mask).
+  /// graph, not just the mask). The memo is mutable cache state behind a
+  /// const method, so it is guarded by memo_mu_: build_problem is safe to
+  /// call concurrently (e.g. from a monitor thread while the serving
+  /// layer publishes) instead of silently racing on the map.
+  mutable std::mutex memo_mu_;
   mutable std::unordered_map<std::uint64_t, std::vector<Path>> candidate_memo_;
   mutable std::uint64_t memo_digest_ = 0;
   mutable bool memo_valid_ = false;

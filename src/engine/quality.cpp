@@ -12,14 +12,10 @@ namespace sor::engine {
 
 namespace {
 
-// Path has no operator<; order by (src, dst, edge sequence) so top-path
-// tie-breaks and row ordering are deterministic.
+// Order by (src, dst, edge sequence) so top-path tie-breaks and row
+// ordering are deterministic (the shared graph/path.hpp total order).
 bool path_less(const Path& x, const Path& y) {
-  if (std::tie(x.src, x.dst) != std::tie(y.src, y.dst)) {
-    return std::tie(x.src, x.dst) < std::tie(y.src, y.dst);
-  }
-  return std::lexicographical_compare(x.edges.begin(), x.edges.end(),
-                                      y.edges.begin(), y.edges.end());
+  return path_lexicographic_less(x, y);
 }
 
 }  // namespace

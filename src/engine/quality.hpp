@@ -78,11 +78,9 @@ struct EpochQuality {
 };
 
 /// The installed split the controller maintains: canonical pair → path
-/// (canonical orientation) → fraction of the pair's demand.
-using InstalledSplit =
-    std::unordered_map<VertexPair,
-                       std::unordered_map<Path, double, PathHash>,
-                       VertexPairHash>;
+/// (canonical orientation) → fraction of the pair's demand. Same type as
+/// the core SplitFractions table the serving layer snapshots.
+using InstalledSplit = SplitFractions;
 
 /// Tracks install-to-install stability. Feed every epoch's post-install
 /// state; churn fields compare against the previous call's snapshots.

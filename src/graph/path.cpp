@@ -1,6 +1,7 @@
 #include "graph/path.hpp"
 
 #include <algorithm>
+#include <tuple>
 #include <unordered_map>
 
 namespace sor {
@@ -121,6 +122,14 @@ std::size_t PathHash::operator()(const Path& p) const {
   mix(p.dst);
   for (EdgeId e : p.edges) mix(e);
   return h;
+}
+
+bool path_lexicographic_less(const Path& a, const Path& b) {
+  if (std::tie(a.src, a.dst) != std::tie(b.src, b.dst)) {
+    return std::tie(a.src, a.dst) < std::tie(b.src, b.dst);
+  }
+  return std::lexicographical_compare(a.edges.begin(), a.edges.end(),
+                                      b.edges.begin(), b.edges.end());
 }
 
 }  // namespace sor

@@ -58,4 +58,10 @@ struct PathHash {
   std::size_t operator()(const Path& p) const;
 };
 
+/// Deterministic total order on paths: (src, dst), then the edge sequence
+/// lexicographically. The tie-break used everywhere map-keyed path state
+/// must be emitted in a stable order (quality churn rows, route-snapshot
+/// serialization).
+bool path_lexicographic_less(const Path& a, const Path& b);
+
 }  // namespace sor

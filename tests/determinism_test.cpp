@@ -14,11 +14,14 @@
 
 #include "cache/cache.hpp"
 #include "core/path_system_io.hpp"
+#include "core/router.hpp"
 #include "core/sampler.hpp"
+#include "demand/demand.hpp"
 #include "engine/replay.hpp"
 #include "graph/generators.hpp"
 #include "lp/path_lp.hpp"
 #include "oblivious/valiant.hpp"
+#include "serve/snapshot.hpp"
 #include "telemetry/json.hpp"
 #include "util/parallel.hpp"
 
@@ -157,6 +160,36 @@ std::string engine_digest() {
   config.trace.num_epochs = 4;
   const engine::EngineRunOutput out = engine::run_from_config(config);
   return engine::digest_json(out.record, out.result).dump();
+}
+
+TEST(ServeSnapshotDeterminism, SerializeBitIdenticalAcrossThreadCounts) {
+  // The serving layer's byte-identity contract rides on serialize() being
+  // a pure function of table CONTENT: route_fractional solved on 1, 2,
+  // and 8 workers must freeze into byte-identical snapshots (digest
+  // included). This pins down the sorted-emission guarantee the ctest
+  // two-process digest comparison checks at the CLI level.
+  const Graph g = make_hypercube(3);
+  const ValiantHypercube routing(g, 3);
+  SampleOptions options;
+  options.k = 3;
+  const PathSystem system = sample_path_system_all_pairs(routing, options, 5);
+  Demand demand;
+  for (const VertexPair& pair : system.pairs()) {
+    demand.add(pair.a, pair.b, 1.0 + 0.5 * static_cast<double>(pair.a % 2));
+  }
+  RouterOptions router_options;
+  router_options.backend = LpBackend::kMwu;
+  const SemiObliviousRouter router(g, system, router_options);
+  const auto snapshots = at_pool_sizes([&] {
+    return serve::RouteSnapshot::build(
+        11, split_fractions(router.route_fractional(demand)));
+  });
+  EXPECT_GT(snapshots[0].num_paths(), 0u);
+  const std::string reference = snapshots[0].serialize();
+  for (std::size_t s = 1; s < snapshots.size(); ++s) {
+    EXPECT_EQ(snapshots[s].serialize(), reference);
+    EXPECT_EQ(snapshots[s].digest(), snapshots[0].digest());
+  }
 }
 
 TEST(EngineDeterminism, ReplayDigestIdenticalAcrossThreadCountsAndCacheModes) {
